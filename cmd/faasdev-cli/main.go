@@ -1,0 +1,115 @@
+// Command faasdev-cli manages functions on a running infless-gateway —
+// the developer tool of the paper's artifact (build/deploy/list/delete).
+//
+//	faasdev-cli -gateway http://localhost:8080 deploy -name classify -model ResNet-50 -slo 200ms
+//	faasdev-cli deploy -f functions.yml
+//	faasdev-cli list
+//	faasdev-cli invoke -name classify -n 10
+//	faasdev-cli metrics
+//	faasdev-cli delete -name classify
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/tanklab/infless/internal/gateway"
+)
+
+func main() {
+	root := flag.NewFlagSet("faasdev-cli", flag.ExitOnError)
+	gwURL := root.String("gateway", "http://localhost:8080", "gateway base URL")
+	root.Usage = usage
+	_ = root.Parse(os.Args[1:])
+	args := root.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	c := gateway.NewClient(*gwURL)
+
+	switch args[0] {
+	case "deploy":
+		fs := flag.NewFlagSet("deploy", flag.ExitOnError)
+		name := fs.String("name", "", "function name")
+		model := fs.String("model", "", "model from the zoo")
+		slo := fs.String("slo", "200ms", "latency SLO")
+		file := fs.String("f", "", "deploy from an INFless template file instead")
+		_ = fs.Parse(args[1:])
+		if *file != "" {
+			data, err := os.ReadFile(*file)
+			check(err)
+			names, err := c.DeployTemplate(string(data))
+			check(err)
+			for _, n := range names {
+				fmt.Println("deployed", n)
+			}
+			return
+		}
+		check(c.Deploy(gateway.DeployRequest{Name: *name, Model: *model, SLO: *slo}))
+		fmt.Println("deployed", *name)
+
+	case "list":
+		entries, err := c.List()
+		check(err)
+		fmt.Printf("%-20s %-12s %10s %6s\n", "name", "model", "slo", "batch")
+		for _, e := range entries {
+			fmt.Printf("%-20s %-12s %10s %6d\n", e.Name, e.ModelName, e.SLO, e.MaxBatchSize)
+		}
+
+	case "delete":
+		fs := flag.NewFlagSet("delete", flag.ExitOnError)
+		name := fs.String("name", "", "function name")
+		_ = fs.Parse(args[1:])
+		check(c.Delete(*name))
+		fmt.Println("deleted", *name)
+
+	case "invoke":
+		fs := flag.NewFlagSet("invoke", flag.ExitOnError)
+		name := fs.String("name", "", "function name")
+		n := fs.Int("n", 1, "number of invocations")
+		_ = fs.Parse(args[1:])
+		for i := 0; i < *n; i++ {
+			start := time.Now()
+			res, err := c.Invoke(*name)
+			check(err)
+			fmt.Printf("latency=%.1fms batch=%d cold=%v instance=%d (wall %v)\n",
+				res.LatencyMs, res.BatchSize, res.ColdStart, res.Instance,
+				time.Since(start).Round(time.Millisecond))
+		}
+
+	case "metrics":
+		ms, err := c.Metrics()
+		check(err)
+		fmt.Printf("%-20s %8s %8s %8s %10s %10s %6s\n", "name", "served", "dropped", "viol%", "mean(ms)", "p99(ms)", "insts")
+		for _, m := range ms {
+			fmt.Printf("%-20s %8d %8d %7.2f%% %10.1f %10.1f %6d\n",
+				m.Name, m.Served, m.Dropped, 100*m.ViolationRate, m.MeanMs, m.P99Ms, m.Instances)
+		}
+
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: faasdev-cli [-gateway URL] <command>
+
+commands:
+  deploy  -name N -model M -slo D   deploy one function
+  deploy  -f template.yml           deploy from a template
+  list                              list deployed functions
+  invoke  -name N [-n count]        invoke a function
+  metrics                           per-function statistics
+  delete  -name N                   undeploy a function`)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faasdev-cli:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,59 @@
+// Command infless-bench regenerates the tables and figures of the
+// INFless paper's evaluation on the simulated testbed.
+//
+// Usage:
+//
+//	infless-bench -list
+//	infless-bench -run fig11
+//	infless-bench -run all -full
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/tanklab/infless/internal/bench"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list experiment IDs and exit")
+		run    = flag.String("run", "all", "experiment ID to run, or 'all'")
+		full   = flag.Bool("full", false, "full-length runs (default: quick)")
+		seed   = flag.Int64("seed", 1, "random seed")
+		format = flag.String("format", "table", "output format: table | csv")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
+	opts := bench.Options{Quick: !*full, Seed: *seed}
+	runOne := func(e bench.Experiment) {
+		start := time.Now()
+		table := e.Run(opts)
+		if *format == "csv" {
+			fmt.Printf("# %s: %s\n%s\n", table.ID, table.Title, table.CSV())
+			return
+		}
+		fmt.Println(table.String())
+		fmt.Printf("(%s took %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if *run == "all" {
+		for _, e := range bench.All() {
+			runOne(e)
+		}
+		return
+	}
+	e, ok := bench.ByID(*run)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *run)
+		os.Exit(1)
+	}
+	runOne(e)
+}

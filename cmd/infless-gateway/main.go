@@ -1,0 +1,57 @@
+// Command infless-gateway serves INFless as a real HTTP platform: deploy
+// inference functions over REST and invoke them; batching, scheduling and
+// cold starts run in (optionally accelerated) wall-clock time with
+// emulated execution.
+//
+//	infless-gateway -addr :8080 -speed 10
+//	curl -XPOST localhost:8080/system/functions \
+//	     -d '{"name":"classify","model":"ResNet-50","slo":"200ms"}'
+//	curl -XPOST localhost:8080/function/classify
+//	curl localhost:8080/system/metrics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"github.com/tanklab/infless/internal/cluster"
+	"github.com/tanklab/infless/internal/gateway"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		servers = flag.Int("servers", 8, "virtual cluster size")
+		speed   = flag.Float64("speed", 1, "wall-clock acceleration of emulated execution")
+		idle    = flag.Duration("idle", 60*time.Second, "instance idle reclaim timeout")
+		seed    = flag.Int64("seed", 1, "random seed for execution noise")
+	)
+	flag.Parse()
+
+	gw := gateway.New(gateway.Config{
+		Cluster:     cluster.New(cluster.Options{Servers: *servers}),
+		SpeedFactor: *speed,
+		IdleTimeout: *idle,
+		Seed:        *seed,
+	})
+	srv := &http.Server{Addr: *addr, Handler: gw}
+
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+		fmt.Fprintln(os.Stderr, "shutting down")
+		gw.Close()
+		_ = srv.Close()
+	}()
+
+	log.Printf("infless-gateway listening on %s (cluster: %d servers, speed %.0fx)", *addr, *servers, *speed)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,81 @@
+// Command infless-loadgen drives an INFless gateway with trace-shaped
+// load and reports client-side latency statistics — the role of the
+// paper artifact's loadGen tool.
+//
+//	infless-loadgen -url http://localhost:8080/function/classify \
+//	    -pattern bursty -rps 80 -duration 2m -slo 200ms
+//	infless-loadgen -url ... -trace trace.csv
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"github.com/tanklab/infless/internal/loadgen"
+	"github.com/tanklab/infless/internal/workload"
+)
+
+func main() {
+	var (
+		url      = flag.String("url", "", "invocation endpoint (required)")
+		pattern  = flag.String("pattern", "constant", "constant | sporadic | periodic | bursty")
+		rps      = flag.Float64("rps", 50, "request rate (base rate for synthetic patterns)")
+		duration = flag.Duration("duration", time.Minute, "load duration (trace time)")
+		speed    = flag.Float64("speed", 1, "trace-time acceleration")
+		slo      = flag.Duration("slo", 0, "classify responses against this latency target")
+		traceCSV = flag.String("trace", "", "drive load from a CSV trace instead of -pattern")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if *url == "" {
+		fmt.Fprintln(os.Stderr, "loadgen: -url is required")
+		os.Exit(2)
+	}
+
+	var tr *workload.Trace
+	var err error
+	switch {
+	case *traceCSV != "":
+		f, ferr := os.Open(*traceCSV)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		tr, err = workload.ReadCSV(f, *traceCSV)
+		f.Close()
+	case *pattern == "constant":
+		tr = workload.Constant(*rps, *duration, time.Minute)
+	default:
+		tr, err = workload.ByName(*pattern, workload.Options{
+			Seed:    *seed,
+			Days:    int(*duration/(24*time.Hour)) + 1,
+			BaseRPS: *rps,
+		})
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	stats, err := loadgen.Run(ctx, loadgen.Config{
+		URL:         *url,
+		Trace:       tr,
+		Duration:    *duration,
+		SpeedFactor: *speed,
+		SLO:         *slo,
+		Seed:        *seed,
+	})
+	fmt.Println(stats)
+	if err != nil && err != context.Canceled {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "loadgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,81 @@
+// Command infless-sim runs one serverless-inference scenario — a system,
+// a set of functions, a traffic pattern — on the simulated cluster and
+// prints the resulting report.
+//
+// Usage:
+//
+//	infless-sim -system infless -scenario osvt -pattern bursty -rps 120 -duration 30m
+//	infless-sim -system batch -model ResNet-50 -slo 200ms -rps 100
+//	infless-sim -template functions.yml -rps 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	infless "github.com/tanklab/infless"
+)
+
+func main() {
+	var (
+		system   = flag.String("system", "infless", "control plane: infless | batch | openfaas+")
+		scenario = flag.String("scenario", "", "predefined scenario: osvt | qa (overrides -model)")
+		modelN   = flag.String("model", "ResNet-50", "model to deploy (see -models)")
+		slo      = flag.Duration("slo", 200*time.Millisecond, "latency SLO")
+		rps      = flag.Float64("rps", 100, "request rate (base rate for synthetic patterns)")
+		pattern  = flag.String("pattern", "constant", "traffic: constant | sporadic | periodic | bursty")
+		duration = flag.Duration("duration", 10*time.Minute, "simulated duration")
+		servers  = flag.Int("servers", 8, "cluster size")
+		seed     = flag.Int64("seed", 1, "random seed")
+		template = flag.String("template", "", "deploy functions from an INFless template file")
+		models   = flag.Bool("models", false, "list the model zoo and exit")
+	)
+	flag.Parse()
+
+	if *models {
+		for _, m := range infless.Models() {
+			fmt.Println(m)
+		}
+		return
+	}
+
+	p, err := infless.NewPlatform(infless.Options{
+		System:  infless.System(*system),
+		Servers: *servers,
+		Seed:    *seed,
+	})
+	check(err)
+
+	traffic := infless.Traffic{Pattern: *pattern, RPS: *rps}
+	switch {
+	case *template != "":
+		data, err := os.ReadFile(*template)
+		check(err)
+		check(p.DeployTemplate(string(data), traffic))
+	case *scenario == "osvt":
+		for _, m := range []string{"SSD", "MobileNet", "ResNet-50"} {
+			check(p.Deploy(infless.FunctionConfig{Name: "osvt-" + m, Model: m, SLO: 200 * time.Millisecond, Traffic: traffic}))
+		}
+	case *scenario == "qa":
+		for _, m := range []string{"TextCNN-69", "LSTM-2365", "DSSM-2389"} {
+			check(p.Deploy(infless.FunctionConfig{Name: "qa-" + m, Model: m, SLO: 50 * time.Millisecond, Traffic: traffic}))
+		}
+	case *scenario != "":
+		check(fmt.Errorf("unknown scenario %q (want osvt or qa)", *scenario))
+	default:
+		check(p.Deploy(infless.FunctionConfig{Name: "fn", Model: *modelN, SLO: *slo, Traffic: traffic}))
+	}
+
+	rep, err := p.Run(*duration)
+	check(err)
+	fmt.Print(rep.String())
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "infless-sim:", err)
+		os.Exit(1)
+	}
+}

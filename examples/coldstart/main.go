@@ -1,0 +1,74 @@
+// Cold-start policies: replay a three-day trace with long-term
+// periodicity (diurnal regime switches) and short-term bursts against
+// the fixed keep-alive, HHP (ATC'20) and LSTH (Section 3.5) policies,
+// reproducing the comparison behind Figure 16.
+//
+//	go run ./examples/coldstart
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	infless "github.com/tanklab/infless"
+)
+
+// makeTrace synthesizes invocation instants with the Figure 9(a)
+// structure: dense and sparse regimes alternating every 6 hours (long-term
+// periodicity that exceeds HHP's 4-hour histogram memory), lognormal gap
+// dispersion and occasional request flurries (short-term bursts).
+func makeTrace(seed int64) []time.Duration {
+	rng := rand.New(rand.NewSource(seed))
+	var arrivals []time.Duration
+	now := time.Duration(0)
+	for now < 72*time.Hour {
+		med := 30 * time.Second // dense phase
+		if int(now/(6*time.Hour))%2 == 1 {
+			med = 5 * time.Minute // sparse phase
+		}
+		gap := time.Duration(float64(med) * math.Exp(rng.NormFloat64()*0.7))
+		if rng.Intn(100) == 0 { // short-term burst
+			for i := 0; i < 20; i++ {
+				now += time.Duration(rng.Intn(2000)) * time.Millisecond
+				arrivals = append(arrivals, now)
+			}
+		}
+		now += gap
+		arrivals = append(arrivals, now)
+	}
+	return arrivals
+}
+
+func main() {
+	arrivals := makeTrace(3)
+	fmt.Printf("replaying %d invocations over 3 days (LTP + STB traffic)\n\n", len(arrivals))
+
+	fmt.Printf("%-12s %12s %18s\n", "policy", "cold rate", "waste/invocation")
+	var hhp, lsth infless.ColdStartResult
+	results := []infless.ColdStartResult{
+		infless.EvaluateColdStartPolicy(infless.FixedKeepAlivePolicy(300*time.Second), arrivals),
+		infless.EvaluateColdStartPolicy(infless.HHPPolicy(), arrivals),
+		infless.EvaluateColdStartPolicy(infless.LSTHPolicy(0.3), arrivals),
+		infless.EvaluateColdStartPolicy(infless.LSTHPolicy(0.5), arrivals),
+		infless.EvaluateColdStartPolicy(infless.LSTHPolicy(0.7), arrivals),
+	}
+	for _, r := range results {
+		fmt.Printf("%-12s %11.2f%% %18v\n", r.Policy, 100*r.ColdStartRate, r.WastePerInvocation.Round(time.Millisecond))
+		switch r.Policy {
+		case "hhp":
+			hhp = r
+		case "lsth(γ=0.5)":
+			lsth = r
+		}
+	}
+
+	if hhp.ColdStartRate > 0 {
+		fmt.Printf("\nLSTH (γ=0.5) cuts the cold-start rate by %.1f%% relative to HHP\n",
+			100*(1-lsth.ColdStartRate/hhp.ColdStartRate))
+		fmt.Println("(the paper reports 21.9%: HHP's single 4-hour histogram forgets")
+		fmt.Println("yesterday's sparse regime, while LSTH's 24-hour histogram keeps it")
+		fmt.Println("and its 1-hour histogram adapts pre-warming to the current regime)")
+	}
+}

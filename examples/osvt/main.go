@@ -1,0 +1,77 @@
+// OSVT: the paper's Online Secondhand Vehicle Trading scenario — three
+// vision models (SSD object detection, MobileNet license recognition,
+// ResNet-50 vehicle classification) behind a 200 ms SLO, driven by a
+// bursty production-style trace, compared across all three systems.
+//
+//	go run ./examples/osvt
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	infless "github.com/tanklab/infless"
+)
+
+func deployOSVT(p *infless.Platform) error {
+	for _, m := range []string{"SSD", "MobileNet", "ResNet-50"} {
+		err := p.Deploy(infless.FunctionConfig{
+			Name:    "osvt-" + m,
+			Model:   m,
+			SLO:     200 * time.Millisecond,
+			Traffic: infless.Traffic{Pattern: "bursty", RPS: 120, Seed: 7},
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func main() {
+	const duration = 30 * time.Minute
+	type outcome struct {
+		system infless.System
+		report *infless.Report
+	}
+	var results []outcome
+	for _, sys := range []infless.System{
+		infless.SystemOpenFaaSPlus,
+		infless.SystemBATCH,
+		infless.SystemINFless,
+	} {
+		p, err := infless.NewPlatform(infless.Options{System: sys, Seed: 7})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := deployOSVT(p); err != nil {
+			log.Fatal(err)
+		}
+		rep, err := p.Run(duration)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results = append(results, outcome{sys, rep})
+	}
+
+	fmt.Println("OSVT scenario: bursty trace, 200ms SLO, 30 simulated minutes")
+	fmt.Printf("%-12s %9s %9s %10s %12s %8s\n", "system", "served", "dropped", "violation", "thpt/res", "frag")
+	for _, r := range results {
+		fmt.Printf("%-12s %9d %9d %9.2f%% %12.2f %7.1f%%\n",
+			r.system, r.report.Served, r.report.Dropped,
+			100*r.report.SLOViolationRate, r.report.ThroughputPerResource,
+			100*r.report.Fragmentation)
+	}
+	base := results[0].report.ThroughputPerResource
+	fmt.Println()
+	for _, r := range results[1:] {
+		fmt.Printf("%s delivers %.1fx the per-resource throughput of %s\n",
+			r.system, r.report.ThroughputPerResource/base, results[0].system)
+	}
+	fmt.Println("\nPer-function breakdown (INFless):")
+	for _, f := range results[2].report.Functions {
+		fmt.Printf("  %-16s served=%d viol=%.2f%% p99=%v batches=%v\n",
+			f.Name, f.Served, 100*f.SLOViolationRate, f.P99Latency, f.SortedBatchSizes())
+	}
+}

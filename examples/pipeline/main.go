@@ -1,0 +1,54 @@
+// Pipeline: an inference function chain (the paper's future-work
+// direction, implemented here) — SSD detects vehicles, MobileNet reads
+// the license plate, ResNet-50 classifies the vehicle, with a single
+// end-to-end latency target. INFless splits the budget across stages in
+// proportion to each model's weight and batches every stage
+// independently.
+//
+//	go run ./examples/pipeline
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	infless "github.com/tanklab/infless"
+)
+
+func main() {
+	p, err := infless.NewPlatform(infless.Options{System: infless.SystemINFless, Seed: 21})
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = p.DeployChain(infless.ChainConfig{
+		Name:    "osvt",
+		Models:  []string{"SSD", "MobileNet", "ResNet-50"},
+		SLO:     400 * time.Millisecond,
+		Traffic: infless.Traffic{Pattern: "bursty", RPS: 80},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := p.Run(20 * time.Minute)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("OSVT as a 3-stage inference chain, 400ms end-to-end SLO")
+	fmt.Println("\nPer-stage view (each stage gets a slice of the budget):")
+	fmt.Printf("  %-22s %10s %9s %8s %10s\n", "stage", "budget", "served", "viol", "p99")
+	for _, f := range rep.Functions {
+		fmt.Printf("  %-22s %10s %9d %7.2f%% %10s\n",
+			f.Name, f.SLO.Round(time.Millisecond), f.Served, 100*f.SLOViolationRate,
+			f.P99Latency.Round(time.Millisecond))
+	}
+
+	for _, c := range p.Chains() {
+		fmt.Println("\nEnd-to-end chain view:")
+		fmt.Printf("  completed: %d  dropped: %d\n", c.Served, c.Dropped)
+		fmt.Printf("  mean latency: %v   p99: %v   (target %v)\n",
+			c.MeanLatency.Round(time.Millisecond), c.P99Latency.Round(time.Millisecond), c.SLO)
+		fmt.Printf("  end-to-end SLO violation rate: %.2f%%\n", 100*c.SLOViolationRate)
+	}
+}

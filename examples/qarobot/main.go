@@ -1,0 +1,70 @@
+// Q&A robot: the paper's second production scenario — TextCNN-69,
+// LSTM-2365 and DSSM-2389 answering user questions behind a tight 50 ms
+// SLO. The example deploys the functions from an INFless template
+// (Figure 5 of the paper) and runs them on a diurnal periodic trace.
+//
+//	go run ./examples/qarobot
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	infless "github.com/tanklab/infless"
+)
+
+// The developer-facing template: OpenFaaS YAML extended with the SLO and
+// batch declarations INFless adds (the paper's faas-cli ParseYAML change).
+const template = `
+provider:
+  name: infless
+
+functions:
+  qa-understand:
+    lang: python3
+    handler: ./textcnn
+    image: sdcbench/tfserving-infless:latest
+    model: TextCNN-69
+    slo: 50ms
+    maxbatchsize: 32
+  qa-context:
+    lang: python3
+    handler: ./lstm
+    image: sdcbench/tfserving-infless:latest
+    model: LSTM-2365
+    slo: 50ms
+    maxbatchsize: 32
+  qa-match:
+    lang: python3
+    handler: ./dssm
+    image: sdcbench/tfserving-infless:latest
+    model: DSSM-2389
+    slo: 50ms
+    maxbatchsize: 32
+`
+
+func main() {
+	p, err := infless.NewPlatform(infless.Options{System: infless.SystemINFless, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := p.DeployTemplate(template, infless.Traffic{Pattern: "periodic", RPS: 250}); err != nil {
+		log.Fatal(err)
+	}
+	rep, err := p.Run(time.Hour)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Q&A robot: periodic diurnal trace, 50ms SLO, 1 simulated hour")
+	fmt.Print(rep.String())
+	fmt.Println()
+	fmt.Println("The 50ms SLO leaves t_exec <= 25ms for batched execution")
+	fmt.Println("(Eq. 1 requires t_exec <= t_slo/2), so the scheduler picks")
+	fmt.Println("small, fast configurations for these lightweight models:")
+	for _, f := range rep.Functions {
+		fmt.Printf("  %-14s exec(avg)=%v queue(avg)=%v configs=%v\n",
+			f.Name, f.MeanExec, f.MeanQueue, f.ConfigUsage)
+	}
+}

@@ -1,0 +1,57 @@
+// Quickstart: deploy one inference function on INFless, drive it with a
+// constant request load, and read back the latency/SLO report.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	infless "github.com/tanklab/infless"
+)
+
+func main() {
+	// An INFless platform on the paper's 8-server, 16-GPU testbed.
+	platform, err := infless.NewPlatform(infless.Options{
+		System:  infless.SystemINFless,
+		Servers: 8,
+		Seed:    1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Deploy a ResNet-50 classification function with a 200 ms latency
+	// SLO — the paper's running example. The platform profiles the
+	// model's operators, derives feasible <batchsize, CPU, GPU>
+	// configurations and manages scaling automatically.
+	err = platform.Deploy(infless.FunctionConfig{
+		Name:    "classify",
+		Model:   "ResNet-50",
+		SLO:     200 * time.Millisecond,
+		Traffic: infless.Traffic{Pattern: "constant", RPS: 150},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Run five simulated minutes of traffic.
+	report, err := platform.Run(5 * time.Minute)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Print(report.String())
+	fmt.Println()
+
+	f := report.Functions[0]
+	fmt.Printf("requests served:        %d (dropped %d)\n", f.Served, f.Dropped)
+	fmt.Printf("SLO violation rate:     %.2f%% (target: sub-%.0fms for every request)\n",
+		100*f.SLOViolationRate, f.SLO.Seconds()*1000)
+	fmt.Printf("p99 latency:            %v\n", f.P99Latency)
+	fmt.Printf("latency composition:    cold %v + queue %v + exec %v\n", f.MeanCold, f.MeanQueue, f.MeanExec)
+	fmt.Printf("throughput/resource:    %.1f requests per weighted resource-second\n", report.ThroughputPerResource)
+	fmt.Printf("batch sizes used:       %v\n", f.SortedBatchSizes())
+}

@@ -1,0 +1,3 @@
+module github.com/tanklab/infless
+
+go 1.22

@@ -1,0 +1,253 @@
+// Package infless is a faithful reimplementation of INFless — "INFless: A
+// Native Serverless System for Low-Latency, High-Throughput Inference"
+// (Yang et al., ASPLOS 2022) — together with the baseline systems and the
+// evaluation harness needed to reproduce the paper's results.
+//
+// The package exposes the platform through a small facade: create a
+// Platform, deploy inference functions (model + latency SLO + traffic),
+// and Run. The heavy lifting — combined operator profiling, non-uniform
+// batching, Algorithm 1 scheduling, LSTH cold-start management, and the
+// discrete-event cluster simulation standing in for the paper's
+// OpenFaaS/Kubernetes testbed — lives in the internal packages.
+//
+// Quick start:
+//
+//	p, err := infless.NewPlatform(infless.Options{System: infless.SystemINFless})
+//	...
+//	err = p.Deploy(infless.FunctionConfig{
+//		Name: "classify", Model: "ResNet-50", SLO: 200 * time.Millisecond,
+//		Traffic: infless.Traffic{Pattern: "constant", RPS: 100},
+//	})
+//	report, err := p.Run(5 * time.Minute)
+package infless
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/tanklab/infless/internal/baselines"
+	"github.com/tanklab/infless/internal/cluster"
+	"github.com/tanklab/infless/internal/coldstart"
+	"github.com/tanklab/infless/internal/core"
+	"github.com/tanklab/infless/internal/model"
+	"github.com/tanklab/infless/internal/sim"
+	"github.com/tanklab/infless/internal/workload"
+)
+
+// System selects which control plane serves the deployed functions.
+type System string
+
+// The three systems of the paper's comparison (Table 3).
+const (
+	// SystemINFless is the paper's contribution: built-in non-uniform
+	// batching, COP-based prediction, Eq. 10 scheduling, LSTH cold-start
+	// management.
+	SystemINFless System = "infless"
+	// SystemBATCH is the state-of-the-art On-Top-of-Platform baseline.
+	SystemBATCH System = "batch"
+	// SystemOpenFaaSPlus is OpenFaaS enhanced with GPU support.
+	SystemOpenFaaSPlus System = "openfaas+"
+)
+
+// Options configure a Platform.
+type Options struct {
+	// System selects the control plane (default SystemINFless).
+	System System
+	// Servers is the cluster size (default 8 — the paper's testbed).
+	Servers int
+	// Seed makes runs reproducible (default 1).
+	Seed int64
+	// Ablation switches (INFless only; Figure 11):
+	DisableBatching   bool    // BB ablation: force batch size 1
+	DisableRS         bool    // RS ablation: ignore Eq. 10's efficiency metric
+	PredictionInflate float64 // OP ablation: 1.5 = OP1.5, 2.0 = OP2
+	// LSTHGamma overrides the LSTH blending weight (default 0.5).
+	LSTHGamma float64
+	// ProvisionSampleEvery records a provisioning time series (Figure 14).
+	ProvisionSampleEvery time.Duration
+}
+
+// Traffic declares the request load of one function.
+type Traffic struct {
+	// Pattern is "constant", "sporadic", "periodic" or "bursty"
+	// (Figure 10); default "constant".
+	Pattern string
+	// RPS is the constant rate, or the base rate of synthetic patterns.
+	RPS float64
+	// Seed varies the synthetic pattern (default: platform seed).
+	Seed int64
+}
+
+// FunctionConfig declares one inference function (Figure 5's template).
+type FunctionConfig struct {
+	Name     string
+	Model    string // a model from Table 1, e.g. "ResNet-50"
+	SLO      time.Duration
+	MaxBatch int // 0 = model default (32)
+	Traffic  Traffic
+
+	// chain wiring, set by DeployChain.
+	forwardTo string
+	noTrace   bool
+	chainSLO  time.Duration
+}
+
+// Platform is a deployed serverless inference system bound to a cluster.
+type Platform struct {
+	opts       Options
+	engineCtrl sim.Controller
+	engine     *sim.Engine
+	fns        []FunctionConfig
+	ran        bool
+}
+
+// NewPlatform creates a platform with the chosen control plane.
+func NewPlatform(opts Options) (*Platform, error) {
+	if opts.System == "" {
+		opts.System = SystemINFless
+	}
+	if opts.Servers == 0 {
+		opts.Servers = 8
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	var ctrl sim.Controller
+	switch opts.System {
+	case SystemINFless:
+		inflessOpts := core.Options{PredictionInflate: opts.PredictionInflate}
+		inflessOpts.Sched.ForceBatchOne = opts.DisableBatching
+		inflessOpts.Sched.DisableRS = opts.DisableRS
+		if opts.LSTHGamma != 0 {
+			inflessOpts.LSTH.Gamma = opts.LSTHGamma
+		}
+		ctrl = core.New(inflessOpts)
+	case SystemBATCH:
+		ctrl = baselines.NewBatchSys(baselines.BatchSysConfig{})
+	case SystemOpenFaaSPlus:
+		ctrl = baselines.NewOpenFaaSPlus(baselines.OpenFaaSPlusConfig{})
+	default:
+		return nil, fmt.Errorf("infless: unknown system %q", opts.System)
+	}
+	return &Platform{opts: opts, engineCtrl: ctrl}, nil
+}
+
+// Deploy registers a function; call before Run.
+func (p *Platform) Deploy(cfg FunctionConfig) error {
+	if p.ran {
+		return fmt.Errorf("infless: platform already ran")
+	}
+	if cfg.Name == "" {
+		return fmt.Errorf("infless: function needs a name")
+	}
+	if model.Get(cfg.Model) == nil {
+		return fmt.Errorf("infless: unknown model %q (see infless.Models())", cfg.Model)
+	}
+	if cfg.SLO <= 0 {
+		return fmt.Errorf("infless: function %s needs a positive SLO", cfg.Name)
+	}
+	if cfg.Traffic.RPS <= 0 {
+		return fmt.Errorf("infless: function %s needs positive traffic", cfg.Name)
+	}
+	switch cfg.Traffic.Pattern {
+	case "", "constant", "sporadic", "periodic", "bursty":
+	default:
+		return fmt.Errorf("infless: unknown traffic pattern %q", cfg.Traffic.Pattern)
+	}
+	p.fns = append(p.fns, cfg)
+	return nil
+}
+
+// DeployTemplate parses an INFless function template (Figure 5) and
+// deploys every function in it with the given traffic.
+func (p *Platform) DeployTemplate(src string, traffic Traffic) error {
+	fns, err := core.ParseTemplate(src)
+	if err != nil {
+		return err
+	}
+	for _, t := range fns {
+		if err := p.Deploy(FunctionConfig{
+			Name:     t.Name,
+			Model:    t.ModelName,
+			SLO:      t.SLO,
+			MaxBatch: t.MaxBatchSize,
+			Traffic:  traffic,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run executes the platform for the given duration and reports results.
+func (p *Platform) Run(duration time.Duration) (*Report, error) {
+	if p.ran {
+		return nil, fmt.Errorf("infless: platform already ran")
+	}
+	if len(p.fns) == 0 {
+		return nil, fmt.Errorf("infless: no functions deployed")
+	}
+	if duration <= 0 {
+		return nil, fmt.Errorf("infless: non-positive duration")
+	}
+	p.ran = true
+	e := sim.New(p.engineCtrl, sim.Config{
+		Cluster:              cluster.New(cluster.Options{Servers: p.opts.Servers}),
+		Seed:                 p.opts.Seed,
+		Duration:             duration,
+		ProvisionSampleEvery: p.opts.ProvisionSampleEvery,
+	})
+	for _, cfg := range p.fns {
+		spec := sim.FunctionSpec{
+			Name:      cfg.Name,
+			Model:     model.MustGet(cfg.Model),
+			SLO:       cfg.SLO,
+			MaxBatch:  cfg.MaxBatch,
+			ForwardTo: cfg.forwardTo,
+			ChainSLO:  cfg.chainSLO,
+		}
+		if !cfg.noTrace {
+			tr, err := p.traceFor(cfg, duration)
+			if err != nil {
+				return nil, err
+			}
+			spec.Trace = tr
+		}
+		e.AddFunction(spec)
+	}
+	p.engine = e
+	res := e.Run()
+	return buildReport(res), nil
+}
+
+func (p *Platform) traceFor(cfg FunctionConfig, duration time.Duration) (*workload.Trace, error) {
+	seed := cfg.Traffic.Seed
+	if seed == 0 {
+		seed = p.opts.Seed
+	}
+	switch cfg.Traffic.Pattern {
+	case "", "constant":
+		return workload.Constant(cfg.Traffic.RPS, duration, time.Minute), nil
+	default:
+		days := int(duration/(24*time.Hour)) + 1
+		return workload.ByName(cfg.Traffic.Pattern, workload.Options{
+			Seed:    seed,
+			Days:    days,
+			BaseRPS: cfg.Traffic.RPS,
+		})
+	}
+}
+
+// Models lists the names of the built-in Table 1 model zoo.
+func Models() []string {
+	var out []string
+	for _, m := range model.All() {
+		out = append(out, m.Name)
+	}
+	return out
+}
+
+// DefaultLSTH returns the paper's default LSTH policy (1 h short window,
+// 24 h long window, gamma 0.5), exposed so callers can evaluate the
+// cold-start policy standalone via EvaluateColdStartPolicy.
+func DefaultLSTH() coldstart.Policy { return coldstart.NewLSTH(coldstart.LSTHOptions{}) }

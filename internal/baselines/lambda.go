@@ -1,0 +1,129 @@
+package baselines
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/tanklab/infless/internal/model"
+	"github.com/tanklab/infless/internal/perf"
+)
+
+// LambdaMemorySizes is the memory grid of the Section 2 motivation study
+// (AWS Lambda allows 128 MB - 3072 MB in the paper's experiments).
+var LambdaMemorySizes = []int{128, 256, 512, 1024, 1536, 2048, 2560, 3072}
+
+// ErrModelTooLarge is returned when the configured memory cannot even
+// load the model (the "x" cells of Figure 2a/2b).
+var ErrModelTooLarge = fmt.Errorf("lambda: model does not fit in function memory")
+
+// LambdaExecTime models the invocation time of a model on an AWS-Lambda
+// style platform: CPU quota proportional to the memory setting, no
+// accelerators, one batch of size b per invocation.
+func LambdaExecTime(m *model.Model, memMB, b int) (time.Duration, error) {
+	if memMB < m.MemoryMB {
+		return 0, ErrModelTooLarge
+	}
+	cores := perf.LambdaMemToVCPU(memMB)
+	return m.ExecTimeFracCPU(b, cores, model.ExecOptions{Contention: 0.35}), nil
+}
+
+// LambdaMinMemoryForSLO returns the smallest grid memory size at which
+// the model meets the latency target with batch size b, or ok=false when
+// even the largest setting misses it (Observation 1: large models cannot
+// meet 200 ms on Lambda at any configuration).
+func LambdaMinMemoryForSLO(m *model.Model, slo time.Duration, b int) (int, bool) {
+	for _, mem := range LambdaMemorySizes {
+		t, err := LambdaExecTime(m, mem, b)
+		if err != nil {
+			continue
+		}
+		if t <= slo {
+			return mem, true
+		}
+	}
+	return 0, false
+}
+
+// LambdaOverProvisioning quantifies Observation 3: the fraction of the
+// SLO-meeting memory allocation that exceeds the model's actual memory
+// consumption. Returns ok=false when no configuration meets the SLO.
+func LambdaOverProvisioning(m *model.Model, slo time.Duration, b int) (frac float64, minMem int, ok bool) {
+	minMem, ok = LambdaMinMemoryForSLO(m, slo, b)
+	if !ok {
+		return 0, 0, false
+	}
+	over := float64(minMem-m.MemoryMB) / float64(minMem)
+	if over < 0 {
+		over = 0
+	}
+	return over, minMem, true
+}
+
+// InvocationStats summarizes a one-to-one (or batched) replay on a
+// Lambda-style platform (Figure 3a).
+type InvocationStats struct {
+	Requests    int
+	Invocations int // function invocations (batches)
+	Launches    int // cold instance launches
+	MemoryGBs   float64
+}
+
+// ReplayOneToOne replays sorted arrivals against a Lambda-style platform:
+// every invocation needs a dedicated instance for its whole execution;
+// warm instances are reused within the keep-alive window. With batch > 1
+// it models the OTP batching layer: requests are grouped into batches of
+// up to `batch` (flushing a partial batch when the oldest member has
+// waited `timeout`), and each batch becomes one invocation.
+func ReplayOneToOne(arrivals []time.Duration, exec time.Duration, memMB int, keepAlive time.Duration, batch int, timeout time.Duration) InvocationStats {
+	if batch < 1 {
+		batch = 1
+	}
+	ts := append([]time.Duration(nil), arrivals...)
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+
+	// Group into invocations.
+	type invocation struct{ at time.Duration }
+	var invocations []invocation
+	for i := 0; i < len(ts); {
+		j := i + 1
+		for j < len(ts) && j-i < batch && ts[j]-ts[i] < timeout {
+			j++
+		}
+		// The batch departs when full or when the head times out.
+		depart := ts[j-1]
+		if j-i < batch {
+			depart = ts[i] + timeout
+		}
+		invocations = append(invocations, invocation{at: depart})
+		i = j
+	}
+
+	// Assign invocations to instances: reuse the earliest-free warm
+	// instance, else launch.
+	type inst struct{ freeAt, lastUse, launchedAt time.Duration }
+	var pool []*inst
+	st := InvocationStats{Requests: len(ts), Invocations: len(invocations)}
+	for _, inv := range invocations {
+		var pick *inst
+		for _, in := range pool {
+			if in.freeAt <= inv.at && inv.at-in.freeAt <= keepAlive {
+				if pick == nil || in.freeAt > pick.freeAt {
+					pick = in // most-recently-used reuse, like real platforms
+				}
+			}
+		}
+		if pick == nil {
+			pick = &inst{launchedAt: inv.at}
+			pool = append(pool, pick)
+			st.Launches++
+		}
+		pick.freeAt = inv.at + exec
+		pick.lastUse = pick.freeAt
+	}
+	for _, in := range pool {
+		lifetime := (in.lastUse + keepAlive) - in.launchedAt
+		st.MemoryGBs += lifetime.Seconds() * float64(memMB) / 1024
+	}
+	return st
+}

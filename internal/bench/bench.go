@@ -1,0 +1,198 @@
+// Package bench regenerates every table and figure of the INFless
+// paper's evaluation (plus the Section 2 motivation study) on this
+// repository's simulated testbed. Each Fig*/Table* function runs the
+// corresponding experiment and returns a Table whose rows mirror the
+// series the paper plots; cmd/infless-bench prints them and
+// bench_test.go exposes them as Go benchmarks.
+//
+// Absolute numbers will differ from the paper (the substrate is a
+// calibrated simulator, not the authors' GPU testbed); EXPERIMENTS.md
+// records the shape targets — who wins, by what factor, where crossovers
+// fall — and the measured outcomes.
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Options tune experiment scale.
+type Options struct {
+	// Quick shrinks run durations for use in tests and Go benchmarks.
+	Quick bool
+	// Seed drives all randomness (default 1).
+	Seed int64
+}
+
+func (o *Options) defaults() {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// dur picks a run duration by mode.
+func (o Options) dur(quick, full time.Duration) time.Duration {
+	if o.Quick {
+		return quick
+	}
+	return full
+}
+
+// Table is a rendered experiment result: one row per paper series/bar.
+type Table struct {
+	ID    string // e.g. "fig11"
+	Title string
+	Cols  []string
+	Rows  []Row
+	Notes []string
+}
+
+// Row is one line of a Table.
+type Row struct {
+	Name  string
+	Cells []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(name string, cells ...string) {
+	t.Rows = append(t.Rows, Row{Name: name, Cells: cells})
+}
+
+// Note appends a free-form footnote.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Cols)+1)
+	widths[0] = len("series")
+	for i, c := range t.Cols {
+		widths[i+1] = len(c)
+	}
+	for _, r := range t.Rows {
+		if len(r.Name) > widths[0] {
+			widths[0] = len(r.Name)
+		}
+		for i, c := range r.Cells {
+			if i+1 < len(widths) && len(c) > widths[i+1] {
+				widths[i+1] = len(c)
+			}
+		}
+	}
+	pad := func(s string, w int) string {
+		if len(s) >= w {
+			return s
+		}
+		return s + strings.Repeat(" ", w-len(s))
+	}
+	b.WriteString(pad("series", widths[0]))
+	for i, c := range t.Cols {
+		b.WriteString("  " + pad(c, widths[i+1]))
+	}
+	b.WriteString("\n")
+	for _, r := range t.Rows {
+		b.WriteString(pad(r.Name, widths[0]))
+		for i, c := range r.Cells {
+			w := 0
+			if i+1 < len(widths) {
+				w = widths[i+1]
+			}
+			b.WriteString("  " + pad(c, w))
+		}
+		b.WriteString("\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as machine-readable CSV (one header row, one row
+// per series) for downstream plotting.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString("series")
+	for _, c := range t.Cols {
+		b.WriteString("," + csvEscape(c))
+	}
+	b.WriteString("\n")
+	for _, r := range t.Rows {
+		b.WriteString(csvEscape(r.Name))
+		for i := range t.Cols {
+			b.WriteString(",")
+			if i < len(r.Cells) {
+				b.WriteString(csvEscape(r.Cells[i]))
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return "\"" + strings.ReplaceAll(s, "\"", "\"\"") + "\""
+}
+
+// ms formats a duration as milliseconds.
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.1f", float64(d)/float64(time.Millisecond))
+}
+
+// f2 formats a float with two decimals.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// pct formats a ratio as a percentage.
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// Experiment couples an ID with its runner, for cmd/infless-bench.
+type Experiment struct {
+	ID   string
+	Desc string
+	Run  func(Options) *Table
+}
+
+// All returns every reproducible experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"table1", "Model zoo (Table 1)", Table1},
+		{"fig2a", "Lambda latency heatmap, no batching", Fig2a},
+		{"fig2b", "Lambda latency heatmap, OTP batching", Fig2b},
+		{"fig2c", "Lambda memory over-provisioning", Fig2c},
+		{"fig2d", "Production latency SLO distribution", Fig2d},
+		{"fig3a", "Instances: one-to-one vs OTP batching", Fig3a},
+		{"fig3b", "Throughput: one-to-one vs OTP vs INFless", Fig3b},
+		{"fig7", "Operator frequency and time share", Fig7},
+		{"fig8", "COP prediction error", Fig8},
+		{"fig11", "Max throughput + component ablation", Fig11},
+		{"fig12a", "Normalized throughput across traces", Fig12a},
+		{"fig12b", "Normalized throughput across SLOs", Fig12b},
+		{"fig13", "Batchsize and resource configuration mix", Fig13},
+		{"fig14", "Resource provisioning over time", Fig14},
+		{"fig15", "SLO violations and latency breakdown", Fig15},
+		{"fig16", "Cold-start rate: LSTH vs HHP vs fixed", Fig16},
+		{"fig17a", "Scheduling overhead at scale", Fig17a},
+		{"fig17b", "Resource fragmentation at scale", Fig17b},
+		{"fig18a", "Large-scale throughput vs #functions", Fig18a},
+		{"fig18b", "Large-scale throughput vs SLO", Fig18b},
+		{"table4", "Computation cost comparison (Table 4)", Table4},
+		{"alpha", "Ablation: dispatcher alpha sweep", AlphaSweep},
+		{"queueing", "Validation: analytic batch-queueing model vs simulator", QueueingValidation},
+	}
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

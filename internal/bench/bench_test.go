@@ -1,0 +1,323 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+var quick = Options{Quick: true, Seed: 1}
+
+// cell parses a numeric cell ("12.3", "45.6%", "1.9x") from a table row.
+func cell(t *testing.T, tb *Table, row string, col int) float64 {
+	t.Helper()
+	for _, r := range tb.Rows {
+		if r.Name != row {
+			continue
+		}
+		if col >= len(r.Cells) {
+			t.Fatalf("%s: row %s has no column %d", tb.ID, row, col)
+		}
+		s := strings.TrimSuffix(strings.TrimSuffix(r.Cells[col], "%"), "x")
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("%s: cell %q not numeric: %v", tb.ID, r.Cells[col], err)
+		}
+		return v
+	}
+	t.Fatalf("%s: no row %q", tb.ID, row)
+	return 0
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{ID: "x", Title: "demo", Cols: []string{"a", "b"}}
+	tb.AddRow("row1", "1", "2")
+	tb.Note("hello %d", 7)
+	out := tb.String()
+	for _, want := range []string{"== x: demo ==", "row1", "hello 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := &Table{ID: "x", Title: "demo", Cols: []string{"a", "b,c"}}
+	tb.AddRow("row\"1", "1", "2")
+	got := tb.CSV()
+	want := "series,a,\"b,c\"\n\"row\"\"1\",1,2\n"
+	if got != want {
+		t.Fatalf("csv = %q, want %q", got, want)
+	}
+}
+
+func TestQueueingValidationShape(t *testing.T) {
+	tb := QueueingValidation(quick)
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, r := range tb.Rows {
+		an := cell(t, tb, r.Name, 0)
+		sim := cell(t, tb, r.Name, 1)
+		if an <= 0 || sim <= 0 {
+			t.Fatalf("%s: non-positive latencies %v/%v", r.Name, an, sim)
+		}
+		// The analytic model must stay within 50%% of the simulator.
+		rel := (an - sim) / sim
+		if rel < -0.5 || rel > 0.5 {
+			t.Errorf("%s: analytic %v vs simulated %v (rel %.2f)", r.Name, an, sim, rel)
+		}
+	}
+}
+
+func TestAllHaveUniqueIDs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if _, ok := ByID(e.ID); !ok {
+			t.Errorf("ByID(%s) failed", e.ID)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID should reject unknown ids")
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	tb := Table1(quick)
+	if len(tb.Rows) != 11 {
+		t.Fatalf("table1 rows = %d, want 11", len(tb.Rows))
+	}
+}
+
+func TestFig2aShape(t *testing.T) {
+	tb := Fig2a(quick)
+	// MNIST fits everywhere; Bert must be unloadable at small memory.
+	mnistOK := false
+	bertX := false
+	for _, r := range tb.Rows {
+		if r.Name == "MNIST" && r.Cells[0] != "x" {
+			mnistOK = true
+		}
+		if r.Name == "Bert-v1" && r.Cells[0] == "x" {
+			bertX = true
+		}
+	}
+	if !mnistOK || !bertX {
+		t.Errorf("fig2a heatmap shape wrong: mnistOK=%v bertX=%v", mnistOK, bertX)
+	}
+}
+
+func TestFig2cShape(t *testing.T) {
+	tb := Fig2c(quick)
+	// The headline: mean over-provisioning > 50%, recorded in the note.
+	found := false
+	for _, n := range tb.Notes {
+		if strings.Contains(n, "mean over-provisioning") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("fig2c note missing")
+	}
+}
+
+func TestFig3aShape(t *testing.T) {
+	tb := Fig3a(quick)
+	inv1 := cell(t, tb, "one-to-one", 1)
+	inv4 := cell(t, tb, "otp-batch4", 1)
+	if inv4 >= inv1 {
+		t.Errorf("OTP batching should reduce invocations: %v vs %v", inv4, inv1)
+	}
+	mem1 := cell(t, tb, "one-to-one", 3)
+	mem4 := cell(t, tb, "otp-batch4", 3)
+	if mem4 >= mem1 {
+		t.Errorf("OTP batching should reduce memory GB.s: %v vs %v", mem4, mem1)
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	tb := Fig7(quick)
+	// The dominant ResNet-50 row must be Conv2D with > 90% share.
+	for i, r := range tb.Rows {
+		if strings.Contains(r.Name, "[ResNet-50]") {
+			next := tb.Rows[i+1]
+			if !strings.Contains(next.Name, "Conv2D") {
+				t.Fatalf("ResNet-50 dominant op = %s", next.Name)
+			}
+			share := strings.TrimSuffix(next.Cells[1], "%")
+			if v, _ := strconv.ParseFloat(share, 64); v < 90 {
+				t.Fatalf("Conv2D share = %v%%, want > 90", v)
+			}
+			return
+		}
+	}
+	t.Fatal("ResNet-50 section missing")
+}
+
+func TestFig8Shape(t *testing.T) {
+	tb := Fig8(quick)
+	// The paper's Figure 8 reports the three models below under 10%;
+	// heavily-branched extras (TextCNN's parallel towers) may run a bit
+	// higher, since COP's max-over-branches ignores contention.
+	strict := map[string]bool{"ResNet-50": true, "MobileNet": true, "LSTM-2365": true}
+	for _, r := range tb.Rows {
+		mean := cell(t, tb, r.Name, 0)
+		limit := 15.0
+		if strict[r.Name] {
+			limit = 10.0
+		}
+		if mean > limit {
+			t.Errorf("%s mean prediction error %v%% exceeds %v%%", r.Name, mean, limit)
+		}
+	}
+}
+
+func TestFig16Shape(t *testing.T) {
+	tb := Fig16(quick)
+	hhp := cell(t, tb, "hhp", 3)
+	lsth := cell(t, tb, "lsth-0.5", 3)
+	if lsth >= hhp {
+		t.Errorf("LSTH mean cold rate %v%% should beat HHP %v%%", lsth, hhp)
+	}
+}
+
+func TestFig17aShape(t *testing.T) {
+	tb := Fig17a(quick)
+	for _, r := range tb.Rows {
+		per := cell(t, tb, r.Name, 1)
+		if per > 500 {
+			t.Errorf("%s: %vus per instance exceeds the paper's 0.5ms", r.Name, per)
+		}
+	}
+}
+
+func TestFig17bShape(t *testing.T) {
+	tb := Fig17b(quick)
+	inf := cell(t, tb, "infless", 0)
+	batch := cell(t, tb, "batch", 0)
+	batchRS := cell(t, tb, "batch+rs", 0)
+	if inf >= batch {
+		t.Errorf("INFless fragmentation %v%% should beat BATCH %v%%", inf, batch)
+	}
+	if batchRS > batch {
+		t.Errorf("BATCH+RS %v%% should not exceed BATCH %v%%", batchRS, batch)
+	}
+}
+
+func TestFig18aShape(t *testing.T) {
+	tb := Fig18a(quick)
+	for _, r := range tb.Rows {
+		vi := cell(t, tb, r.Name, 0)
+		vb := cell(t, tb, r.Name, 1)
+		vo := cell(t, tb, r.Name, 2)
+		if vi <= vb || vi <= vo {
+			t.Errorf("%s: INFless %v should beat BATCH %v and OpenFaaS+ %v", r.Name, vi, vb, vo)
+		}
+	}
+}
+
+func TestFig18bShape(t *testing.T) {
+	tb := Fig18b(quick)
+	first := cell(t, tb, tb.Rows[0].Name, 0)
+	last := cell(t, tb, tb.Rows[len(tb.Rows)-1].Name, 0)
+	if last <= first {
+		t.Errorf("relaxing the SLO should raise throughput/resource: %v -> %v", first, last)
+	}
+}
+
+// Slow end-to-end experiments run only outside -short.
+func TestFig3bShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow stress test")
+	}
+	tb := Fig3b(quick)
+	one := cell(t, tb, "openfaas+", 0)
+	batch := cell(t, tb, "batch", 0)
+	inf := cell(t, tb, "infless", 0)
+	if !(one < batch && batch < inf) {
+		t.Errorf("fig3b ordering violated: %v, %v, %v", one, batch, inf)
+	}
+}
+
+func TestFig12aShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow multi-trace comparison")
+	}
+	tb := Fig12a(quick)
+	for col := 0; col < 3; col++ {
+		inf := cell(t, tb, "infless", col)
+		batch := cell(t, tb, "batch", col)
+		ofp := cell(t, tb, "openfaas+", col)
+		if inf <= batch || inf <= ofp {
+			t.Errorf("col %d: INFless %v must beat BATCH %v and OpenFaaS+ %v", col, inf, batch, ofp)
+		}
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow provisioning run")
+	}
+	tb := Fig14(quick)
+	batch := cell(t, tb, "batch", 2)
+	inf := cell(t, tb, "infless", 2)
+	if inf >= batch {
+		t.Errorf("INFless provisioning area %v should be below BATCH %v", inf, batch)
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow stress suite")
+	}
+	tb := Fig11(quick)
+	inf := cell(t, tb, "infless", 0)
+	bb := cell(t, tb, "infless-bb", 0)
+	batch := cell(t, tb, "batch", 0)
+	rs := cell(t, tb, "infless-rs", 0)
+	if inf <= batch {
+		t.Errorf("INFless OSVT goodput %v should beat BATCH %v", inf, batch)
+	}
+	if bb >= inf {
+		t.Errorf("disabling batching should hurt: %v vs %v", bb, inf)
+	}
+	if rs >= inf {
+		t.Errorf("disabling RS should hurt: %v vs %v", rs, inf)
+	}
+}
+
+func TestFig15Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow trace suite")
+	}
+	tb := Fig15(quick)
+	// INFless must stay in single digits on every trace.
+	for col := 0; col < 3; col++ {
+		if v := cell(t, tb, "infless", col); v > 5 {
+			t.Errorf("INFless violation rate %v%% on trace col %d exceeds 5%%", v, col)
+		}
+	}
+}
+
+func TestGoodputAndHelpers(t *testing.T) {
+	if nearestPow2(1) != 1 || nearestPow2(3) != 2 || nearestPow2(32) != 32 || nearestPow2(31) != 16 {
+		t.Fatal("nearestPow2 wrong")
+	}
+	o := Options{}
+	o.defaults()
+	if o.Seed != 1 {
+		t.Fatal("default seed")
+	}
+	if o.dur(time.Second, time.Minute) != time.Minute {
+		t.Fatal("full duration expected by default")
+	}
+	o.Quick = true
+	if o.dur(time.Second, time.Minute) != time.Second {
+		t.Fatal("quick duration expected")
+	}
+}

@@ -1,0 +1,120 @@
+package bench
+
+// queueing.go validates the analytic batch-queueing model (the foundation
+// of the BATCH baseline's controller) against the discrete-event
+// simulator — an accuracy experiment beyond the paper's own figures.
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/tanklab/infless/internal/batching"
+	"github.com/tanklab/infless/internal/cluster"
+	"github.com/tanklab/infless/internal/model"
+	"github.com/tanklab/infless/internal/perf"
+	"github.com/tanklab/infless/internal/queueing"
+	"github.com/tanklab/infless/internal/scheduler"
+	"github.com/tanklab/infless/internal/sim"
+	"github.com/tanklab/infless/internal/workload"
+)
+
+// QueueingValidation compares the analytic mean response of one batch
+// station against the simulator across arrival rates.
+func QueueingValidation(opts Options) *Table {
+	opts.defaults()
+	dur := opts.dur(2*time.Minute, 10*time.Minute)
+	t := &Table{ID: "queueing", Title: "Analytic batch-queueing model vs simulator (ResNet-50, b=8, fixed config)",
+		Cols: []string{"analyticMs", "simulatedMs", "relErr"}}
+
+	m := model.MustGet("ResNet-50")
+	res := perf.Resources{CPU: 2, GPU: 1}
+	const b = 8
+	texec := m.ExecTime(b, res, model.ExecOptions{Contention: 0.35})
+	slo := 400 * time.Millisecond
+	timeout := slo - texec
+
+	for _, lam := range []float64{30, 60, 120, 200} {
+		an, err := queueing.Analyze(queueing.Params{
+			Lambda:  lam,
+			B:       b,
+			Timeout: timeout,
+			Service: func(int) time.Duration { return texec },
+		})
+		if err != nil {
+			panic(err)
+		}
+		// Simulator: a single fixed instance with the same parameters.
+		ctrl := &fixedController{cand: fixedCandidate(m, b, res, texec, slo)}
+		e := sim.New(ctrl, sim.Config{
+			Cluster:  cluster.Testbed(),
+			Duration: dur,
+			Seed:     opts.Seed,
+			Warmup:   10 * time.Second,
+		})
+		f := e.AddFunction(sim.FunctionSpec{
+			Name:  "station",
+			Model: m,
+			SLO:   slo,
+			Trace: workload.Constant(lam, dur, time.Minute),
+		})
+		e.Run()
+		simMean := f.Recorder.Mean()
+		rel := 0.0
+		if simMean > 0 {
+			rel = (float64(an.MeanResponse) - float64(simMean)) / float64(simMean)
+		}
+		t.AddRow(fmt.Sprintf("lambda=%v", lam),
+			ms(an.MeanResponse), ms(simMean), fmt.Sprintf("%+.1f%%", 100*rel))
+	}
+	t.Note("the M[x]/D/1-style model is the analytic core of BATCH's controller; both worlds share texec=%v", texec.Round(time.Millisecond))
+	return t
+}
+
+// fixedController pins one instance with a fixed candidate configuration.
+type fixedController struct {
+	cand fixedCand
+}
+
+type fixedCand struct {
+	b     int
+	res   perf.Resources
+	texec time.Duration
+	slo   time.Duration
+}
+
+func fixedCandidate(m *model.Model, b int, res perf.Resources, texec, slo time.Duration) fixedCand {
+	return fixedCand{b: b, res: res, texec: texec, slo: slo}
+}
+
+func (c *fixedController) Name() string { return "fixed-station" }
+
+func (c *fixedController) Init(e *sim.Engine) {
+	for _, f := range e.Functions() {
+		cand, err := buildFixedCandidate(c.cand)
+		if err != nil {
+			panic(err)
+		}
+		e.Launch(f, cand, 0)
+	}
+}
+
+func (c *fixedController) Route(e *sim.Engine, f *sim.FunctionState, r *sim.Request) *sim.Instance {
+	for _, inst := range f.Instances {
+		if inst.CanAccept() {
+			return inst
+		}
+	}
+	return nil
+}
+
+func (c *fixedController) Tick(e *sim.Engine, f *sim.FunctionState) { e.FlushPending(f) }
+
+// buildFixedCandidate derives the scheduler.Candidate for the pinned
+// station configuration.
+func buildFixedCandidate(c fixedCand) (scheduler.Candidate, error) {
+	bounds, err := batching.RateBounds(c.texec, c.slo, c.b)
+	if err != nil {
+		return scheduler.Candidate{}, err
+	}
+	return scheduler.Candidate{B: c.b, Res: c.res, TExec: c.texec, Bounds: bounds}, nil
+}

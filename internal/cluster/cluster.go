@@ -1,0 +1,216 @@
+// Package cluster tracks servers and their heterogeneous CPU/GPU resource
+// inventories, providing the placement substrate for the INFless
+// scheduler. It corresponds to the "cluster resource status" input of the
+// auto-scaling engine (Figure 4) plus the fragmentation accounting used
+// by the evaluation (Figure 17b).
+package cluster
+
+import (
+	"fmt"
+
+	"github.com/tanklab/infless/internal/perf"
+)
+
+// Server is one machine of the testbed.
+type Server struct {
+	ID        int
+	Capacity  perf.Resources
+	Free      perf.Resources
+	MemCapMB  int
+	MemFreeMB int
+	allocs    int
+	down      bool
+}
+
+// Down reports whether the server is marked failed; failed servers accept
+// no new allocations (existing bookkeeping is the owner's to clean up).
+func (s *Server) Down() bool { return s.down }
+
+// Allocated returns the resources currently in use on the server.
+func (s *Server) Allocated() perf.Resources { return s.Capacity.Sub(s.Free) }
+
+// Active reports whether the server hosts at least one allocation. The
+// paper's fragmentation metric only counts active servers.
+func (s *Server) Active() bool { return s.allocs > 0 }
+
+// Cluster is a collection of servers with allocation bookkeeping.
+type Cluster struct {
+	servers []*Server
+}
+
+// Options configures cluster construction.
+type Options struct {
+	Servers   int
+	PerServer perf.Resources
+	MemMB     int
+}
+
+// New creates a homogeneous cluster. Zero-valued fields default to the
+// paper's testbed server (16 cores, 2 GPUs = 20 MPS units, 128 GB).
+func New(opts Options) *Cluster {
+	if opts.Servers <= 0 {
+		opts.Servers = 8
+	}
+	if opts.PerServer.IsZero() {
+		opts.PerServer = perf.ServerCapacity()
+	}
+	if opts.MemMB <= 0 {
+		opts.MemMB = perf.ServerMemoryMB
+	}
+	c := &Cluster{servers: make([]*Server, opts.Servers)}
+	for i := range c.servers {
+		c.servers[i] = &Server{
+			ID:        i,
+			Capacity:  opts.PerServer,
+			Free:      opts.PerServer,
+			MemCapMB:  opts.MemMB,
+			MemFreeMB: opts.MemMB,
+		}
+	}
+	return c
+}
+
+// NodePool describes one homogeneous group of servers in a heterogeneous
+// cluster.
+type NodePool struct {
+	Servers   int
+	PerServer perf.Resources
+	MemMB     int
+}
+
+// NewHeterogeneous builds a cluster from node pools — e.g. a GPU pool
+// plus CPU-only workers, the common production layout. Server IDs are
+// assigned across pools in order.
+func NewHeterogeneous(pools []NodePool) *Cluster {
+	c := &Cluster{}
+	for _, p := range pools {
+		if p.Servers <= 0 {
+			continue
+		}
+		mem := p.MemMB
+		if mem <= 0 {
+			mem = perf.ServerMemoryMB
+		}
+		cap := p.PerServer
+		if cap.IsZero() {
+			cap = perf.ServerCapacity()
+		}
+		for i := 0; i < p.Servers; i++ {
+			c.servers = append(c.servers, &Server{
+				ID:        len(c.servers),
+				Capacity:  cap,
+				Free:      cap,
+				MemCapMB:  mem,
+				MemFreeMB: mem,
+			})
+		}
+	}
+	if len(c.servers) == 0 {
+		panic("cluster: heterogeneous cluster with no servers")
+	}
+	return c
+}
+
+// Testbed returns the paper's 8-server, 16-GPU local cluster.
+func Testbed() *Cluster { return New(Options{Servers: 8}) }
+
+// LargeScale returns the paper's 2,000-server simulation cluster.
+func LargeScale() *Cluster { return New(Options{Servers: 2000}) }
+
+// Size returns the number of servers.
+func (c *Cluster) Size() int { return len(c.servers) }
+
+// Server returns server id, panicking on out-of-range ids (ids are only
+// ever produced by the cluster itself).
+func (c *Cluster) Server(id int) *Server {
+	if id < 0 || id >= len(c.servers) {
+		panic(fmt.Sprintf("cluster: invalid server id %d", id))
+	}
+	return c.servers[id]
+}
+
+// Servers returns the underlying server list (not a copy; callers must
+// not mutate inventory except through Allocate/Release).
+func (c *Cluster) Servers() []*Server { return c.servers }
+
+// SetDown marks a server failed (true) or recovered (false).
+func (c *Cluster) SetDown(id int, down bool) {
+	c.Server(id).down = down
+}
+
+// Allocate reserves res (+memMB) on server id.
+func (c *Cluster) Allocate(id int, res perf.Resources, memMB int) error {
+	s := c.Server(id)
+	if s.down {
+		return fmt.Errorf("cluster: server %d is down", id)
+	}
+	if !s.Free.Fits(res) {
+		return fmt.Errorf("cluster: server %d cannot fit %v (free %v)", id, res, s.Free)
+	}
+	if memMB > s.MemFreeMB {
+		return fmt.Errorf("cluster: server %d cannot fit %d MB (free %d MB)", id, memMB, s.MemFreeMB)
+	}
+	s.Free = s.Free.Sub(res)
+	s.MemFreeMB -= memMB
+	s.allocs++
+	return nil
+}
+
+// Release returns res (+memMB) to server id. Releasing more than was
+// allocated panics: it is always a double-free bug in the caller.
+func (c *Cluster) Release(id int, res perf.Resources, memMB int) {
+	s := c.Server(id)
+	s.Free = s.Free.Add(res)
+	s.MemFreeMB += memMB
+	s.allocs--
+	if !s.Capacity.Fits(s.Free) || s.MemFreeMB > s.MemCapMB || s.allocs < 0 {
+		panic(fmt.Sprintf("cluster: release underflow on server %d", id))
+	}
+}
+
+// TotalCapacity sums resource capacity across all servers.
+func (c *Cluster) TotalCapacity() perf.Resources {
+	var t perf.Resources
+	for _, s := range c.servers {
+		t = t.Add(s.Capacity)
+	}
+	return t
+}
+
+// TotalAllocated sums allocated resources across all servers.
+func (c *Cluster) TotalAllocated() perf.Resources {
+	var t perf.Resources
+	for _, s := range c.servers {
+		t = t.Add(s.Allocated())
+	}
+	return t
+}
+
+// ActiveServers returns the number of servers hosting allocations.
+func (c *Cluster) ActiveServers() int {
+	n := 0
+	for _, s := range c.servers {
+		if s.Active() {
+			n++
+		}
+	}
+	return n
+}
+
+// FragmentationRatio is the paper's resource-fragment metric: the
+// beta-weighted share of *active* servers' capacity that is left
+// unallocated. An idle cluster has zero fragmentation.
+func (c *Cluster) FragmentationRatio() float64 {
+	var free, cap float64
+	for _, s := range c.servers {
+		if !s.Active() {
+			continue
+		}
+		free += s.Free.Weighted()
+		cap += s.Capacity.Weighted()
+	}
+	if cap == 0 {
+		return 0
+	}
+	return free / cap
+}

@@ -1,0 +1,374 @@
+// Package coldstart implements keep-alive / pre-warming policies for
+// serverless instances (Section 3.5 of the INFless paper):
+//
+//   - Fixed keep-alive (what OpenFaaS and BATCH use),
+//   - HHP, the hybrid histogram policy of "Serverless in the Wild"
+//     (Shahrad et al., ATC'20), which tracks idle times over one long
+//     window, and
+//   - LSTH, INFless's Long-Short Term Histogram policy, which blends a
+//     short-term histogram (capturing bursts) with a long-term histogram
+//     (capturing diurnal periodicity) via a weight gamma.
+//
+// All policies answer the same two questions: how long after an
+// invocation should the image be dropped and later pre-loaded
+// (pre-warming window), and how long should the pre-loaded image then be
+// kept alive (keep-alive window). An arrival is warm iff the idle gap
+// preceding it lands inside [prewarm, prewarm+keepalive].
+package coldstart
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Policy decides pre-warming and keep-alive windows from observed
+// function idle times. Implementations are not safe for concurrent use;
+// the simulation engine owns one policy per function.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// RecordIdle feeds one completed idle gap (time between the end of
+	// an invocation burst and the next invocation), observed at virtual
+	// time now.
+	RecordIdle(idle time.Duration, now time.Duration)
+	// Windows returns the current pre-warming and keep-alive windows at
+	// virtual time now.
+	Windows(now time.Duration) (prewarm, keepalive time.Duration)
+}
+
+// BinWidth is the histogram resolution. The ATC'20 paper uses 1-minute
+// bins; inference traffic is denser, so we use 1-second bins.
+const BinWidth = time.Second
+
+// Hist is a fixed-width histogram of idle durations.
+type Hist struct {
+	bins  []int
+	total int
+	span  time.Duration // durations >= span land in the last bin
+}
+
+// NewHist creates a histogram covering [0, span).
+func NewHist(span time.Duration) *Hist {
+	n := int(span / BinWidth)
+	if n < 1 {
+		n = 1
+	}
+	return &Hist{bins: make([]int, n+1), span: span}
+}
+
+func (h *Hist) idx(d time.Duration) int {
+	i := int(d / BinWidth)
+	if i >= len(h.bins) {
+		i = len(h.bins) - 1
+	}
+	if i < 0 {
+		i = 0
+	}
+	return i
+}
+
+// Observe adds one idle duration.
+func (h *Hist) Observe(d time.Duration) {
+	h.bins[h.idx(d)]++
+	h.total++
+}
+
+// Remove deletes one previously observed duration (used by sliding
+// windows). Removing an unobserved value panics: callers only ever remove
+// what they added.
+func (h *Hist) Remove(d time.Duration) {
+	i := h.idx(d)
+	if h.bins[i] == 0 {
+		panic("coldstart: removing unobserved duration")
+	}
+	h.bins[i]--
+	h.total--
+}
+
+// Total returns the number of observations currently recorded.
+func (h *Hist) Total() int { return h.total }
+
+// Percentile returns the upper edge of the smallest bin at which the
+// cumulative distribution reaches q (0 < q <= 1). It returns 0 when the
+// histogram is empty.
+func (h *Hist) Percentile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 1e-9
+	}
+	if q > 1 {
+		q = 1
+	}
+	need := int(q * float64(h.total))
+	if need < 1 {
+		need = 1
+	}
+	cum := 0
+	for i, n := range h.bins {
+		cum += n
+		if cum >= need {
+			return time.Duration(i+1) * BinWidth
+		}
+	}
+	return time.Duration(len(h.bins)) * BinWidth
+}
+
+// windowed is a sliding-window histogram: observations expire once they
+// fall out of the window.
+type windowed struct {
+	hist   *Hist
+	window time.Duration
+	obs    []obsEntry
+	head   int
+	sum    float64 // seconds, over live observations
+	sumSq  float64
+}
+
+type obsEntry struct {
+	at   time.Duration
+	idle time.Duration
+}
+
+func newWindowed(window time.Duration) *windowed {
+	return &windowed{hist: NewHist(window), window: window}
+}
+
+func (w *windowed) observe(idle, now time.Duration) {
+	w.evict(now)
+	w.obs = append(w.obs, obsEntry{at: now, idle: idle})
+	w.hist.Observe(idle)
+	s := idle.Seconds()
+	w.sum += s
+	w.sumSq += s * s
+}
+
+// cv returns the coefficient of variation of the live observations; 0 for
+// fewer than two samples.
+func (w *windowed) cv() float64 {
+	n := float64(w.hist.Total())
+	if n < 2 {
+		return 0
+	}
+	mean := w.sum / n
+	if mean <= 0 {
+		return 0
+	}
+	variance := w.sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return math.Sqrt(variance) / mean
+}
+
+func (w *windowed) evict(now time.Duration) {
+	for w.head < len(w.obs) && w.obs[w.head].at < now-w.window {
+		w.hist.Remove(w.obs[w.head].idle)
+		s := w.obs[w.head].idle.Seconds()
+		w.sum -= s
+		w.sumSq -= s * s
+		w.head++
+	}
+	// Compact occasionally so memory stays bounded on long runs.
+	if w.head > 1024 && w.head*2 > len(w.obs) {
+		w.obs = append([]obsEntry(nil), w.obs[w.head:]...)
+		w.head = 0
+	}
+}
+
+// Fixed is the fixed keep-alive policy used by OpenFaaS⁺ and BATCH in the
+// paper's comparison (Table 3): no pre-warming, constant keep-alive.
+type Fixed struct {
+	KeepAlive time.Duration
+}
+
+// DefaultFixedKeepAlive is the paper's OpenFaaS⁺ setting (300 seconds).
+const DefaultFixedKeepAlive = 300 * time.Second
+
+func (f Fixed) Name() string                            { return "fixed" }
+func (f Fixed) RecordIdle(time.Duration, time.Duration) {}
+func (f Fixed) Windows(time.Duration) (time.Duration, time.Duration) {
+	return 0, f.KeepAlive
+}
+
+// HHP is the hybrid histogram policy of ATC'20: one histogram over a
+// configurable tracking duration (4 hours by default); the head of the
+// idle-time distribution selects the pre-warming window and the tail the
+// keep-alive window. Until enough samples accrue it falls back to a
+// conservative fixed keep-alive.
+type HHP struct {
+	win        *windowed
+	headPct    float64
+	tailPct    float64
+	minSamples int
+	fallback   time.Duration
+	cvLimit    float64
+}
+
+// HHPOptions configure an HHP policy; zero values take paper defaults.
+type HHPOptions struct {
+	Window     time.Duration // tracking duration (default 4h)
+	HeadPct    float64       // default 0.05
+	TailPct    float64       // default 0.99
+	MinSamples int           // default 10
+	Fallback   time.Duration // default 300s fixed keep-alive
+	// CVLimit is the representativeness criterion of the original ATC'20
+	// policy: when the idle-time distribution's coefficient of variation
+	// exceeds the limit, the histogram is deemed non-representative and
+	// the policy reverts to the conservative fixed keep-alive. Inference
+	// traffic with mixed long-term and short-term patterns trips this
+	// often — the behavior the INFless paper criticizes as "so
+	// conservative that it generates too much resource waste". Default 2.
+	CVLimit float64
+}
+
+// NewHHP creates an HHP policy.
+func NewHHP(opts HHPOptions) *HHP {
+	if opts.Window == 0 {
+		opts.Window = 4 * time.Hour
+	}
+	if opts.HeadPct == 0 {
+		opts.HeadPct = 0.05
+	}
+	if opts.TailPct == 0 {
+		opts.TailPct = 0.99
+	}
+	if opts.MinSamples == 0 {
+		opts.MinSamples = 10
+	}
+	if opts.Fallback == 0 {
+		opts.Fallback = DefaultFixedKeepAlive
+	}
+	if opts.CVLimit == 0 {
+		opts.CVLimit = 2.0
+	}
+	return &HHP{
+		win:        newWindowed(opts.Window),
+		headPct:    opts.HeadPct,
+		tailPct:    opts.TailPct,
+		minSamples: opts.MinSamples,
+		fallback:   opts.Fallback,
+		cvLimit:    opts.CVLimit,
+	}
+}
+
+func (h *HHP) Name() string { return "hhp" }
+
+func (h *HHP) RecordIdle(idle, now time.Duration) { h.win.observe(idle, now) }
+
+func (h *HHP) Windows(now time.Duration) (time.Duration, time.Duration) {
+	h.win.evict(now)
+	if h.win.hist.Total() < h.minSamples || h.win.cv() > h.cvLimit {
+		return 0, h.fallback
+	}
+	head := h.win.hist.Percentile(h.headPct)
+	tail := h.win.hist.Percentile(h.tailPct)
+	// Pre-warming must leave room for loading the image; the head bin's
+	// lower edge is the safe pre-warm point.
+	prewarm := head - BinWidth
+	if prewarm < 0 {
+		prewarm = 0
+	}
+	return prewarm, tail
+}
+
+// LSTH is INFless's Long-Short Term Histogram policy: it maintains a
+// short-duration histogram (default 1 hour, capturing short-term bursts)
+// and a long-duration histogram (default 24 hours, capturing long-term
+// periodicity) and blends their head/tail windows with weight gamma:
+//
+//	prewarm   = gamma*L_prewarm   + (1-gamma)*S_prewarm
+//	keepalive = gamma*L_keepalive + (1-gamma)*S_keepalive
+type LSTH struct {
+	short      *windowed
+	long       *windowed
+	gamma      float64
+	headPct    float64
+	tailPct    float64
+	minSamples int
+	fallback   time.Duration
+}
+
+// LSTHOptions configure an LSTH policy; zero values take paper defaults
+// (short 1h, long 24h, gamma 0.5).
+type LSTHOptions struct {
+	ShortWindow time.Duration
+	LongWindow  time.Duration
+	Gamma       float64
+	HeadPct     float64
+	TailPct     float64
+	MinSamples  int
+	Fallback    time.Duration
+}
+
+// NewLSTH creates an LSTH policy. Gamma must lie in [0,1]; the paper
+// evaluates {0.3, 0.5, 0.7} and defaults to 0.5.
+func NewLSTH(opts LSTHOptions) *LSTH {
+	if opts.ShortWindow == 0 {
+		opts.ShortWindow = time.Hour
+	}
+	if opts.LongWindow == 0 {
+		opts.LongWindow = 24 * time.Hour
+	}
+	if opts.Gamma == 0 {
+		opts.Gamma = 0.5
+	}
+	if opts.Gamma < 0 || opts.Gamma > 1 {
+		panic(fmt.Sprintf("coldstart: gamma %f out of [0,1]", opts.Gamma))
+	}
+	if opts.HeadPct == 0 {
+		opts.HeadPct = 0.05
+	}
+	if opts.TailPct == 0 {
+		opts.TailPct = 0.99
+	}
+	if opts.MinSamples == 0 {
+		opts.MinSamples = 10
+	}
+	if opts.Fallback == 0 {
+		opts.Fallback = DefaultFixedKeepAlive
+	}
+	return &LSTH{
+		short:      newWindowed(opts.ShortWindow),
+		long:       newWindowed(opts.LongWindow),
+		gamma:      opts.Gamma,
+		headPct:    opts.HeadPct,
+		tailPct:    opts.TailPct,
+		minSamples: opts.MinSamples,
+		fallback:   opts.Fallback,
+	}
+}
+
+func (l *LSTH) Name() string { return fmt.Sprintf("lsth(γ=%.1f)", l.gamma) }
+
+func (l *LSTH) RecordIdle(idle, now time.Duration) {
+	l.short.observe(idle, now)
+	l.long.observe(idle, now)
+}
+
+func (l *LSTH) Windows(now time.Duration) (time.Duration, time.Duration) {
+	l.short.evict(now)
+	l.long.evict(now)
+	if l.long.hist.Total() < l.minSamples {
+		return 0, l.fallback
+	}
+	lPre := l.long.hist.Percentile(l.headPct) - BinWidth
+	lKeep := l.long.hist.Percentile(l.tailPct)
+	sPre := l.short.hist.Percentile(l.headPct) - BinWidth
+	sKeep := l.short.hist.Percentile(l.tailPct)
+	if l.short.hist.Total() < l.minSamples {
+		// Quiet recent period: trust the long-term view alone.
+		sPre, sKeep = lPre, lKeep
+	}
+	if lPre < 0 {
+		lPre = 0
+	}
+	if sPre < 0 {
+		sPre = 0
+	}
+	pre := time.Duration(l.gamma*float64(lPre) + (1-l.gamma)*float64(sPre))
+	keep := time.Duration(l.gamma*float64(lKeep) + (1-l.gamma)*float64(sKeep))
+	return pre, keep
+}

@@ -1,0 +1,33 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseTemplate checks the template parser never panics and that
+// every accepted template round-trips through validation.
+func FuzzParseTemplate(f *testing.F) {
+	f.Add(goodTemplate)
+	f.Add("functions:\n  f:\n    model: MNIST\n    slo: 100ms\n")
+	f.Add("provider:\n  name: infless\n")
+	f.Add(":\n::\n  :\n")
+	f.Add("functions:\n  f: v\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		fns, err := ParseTemplate(src)
+		if err != nil {
+			return
+		}
+		if len(fns) == 0 {
+			t.Fatal("nil-error parse returned no functions")
+		}
+		for _, fn := range fns {
+			if err := fn.Validate(); err != nil {
+				t.Fatalf("accepted template fails validation: %v", err)
+			}
+			if strings.ContainsAny(fn.Name, "\n\r") {
+				t.Fatalf("name contains newline: %q", fn.Name)
+			}
+		}
+	})
+}

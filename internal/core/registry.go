@@ -1,0 +1,113 @@
+package core
+
+// registry.go models the "register repository" of Section 4: the
+// persistent store for deployed function metadata, instance
+// configurations and operator profiles that faas-netes consults at
+// scheduling time.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// RegistryEntry is one deployed function's durable record.
+type RegistryEntry struct {
+	Name         string        `json:"name"`
+	ModelName    string        `json:"model"`
+	SLO          time.Duration `json:"sloNs"`
+	MaxBatchSize int           `json:"maxBatchSize"`
+	Image        string        `json:"image,omitempty"`
+	Handler      string        `json:"handler,omitempty"`
+	DeployedAt   time.Duration `json:"deployedAtNs"` // virtual time
+}
+
+// Registry is a concurrency-safe function metadata store.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]RegistryEntry
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: map[string]RegistryEntry{}}
+}
+
+// Register adds or replaces a function record. The entry must validate
+// against the model zoo.
+func (r *Registry) Register(e RegistryEntry) error {
+	t := TemplateFunction{
+		Name:         e.Name,
+		ModelName:    e.ModelName,
+		SLO:          e.SLO,
+		MaxBatchSize: e.MaxBatchSize,
+		Image:        e.Image,
+		Handler:      e.Handler,
+	}
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.entries[e.Name] = e
+	return nil
+}
+
+// Lookup returns the record for name.
+func (r *Registry) Lookup(name string) (RegistryEntry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[name]
+	return e, ok
+}
+
+// Delete removes a function record; it reports whether one existed.
+func (r *Registry) Delete(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.entries[name]
+	delete(r.entries, name)
+	return ok
+}
+
+// List returns all records sorted by name (faasdev-cli list).
+func (r *Registry) List() []RegistryEntry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]RegistryEntry, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len returns the number of registered functions.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}
+
+// Save serializes the registry as JSON.
+func (r *Registry) Save(w io.Writer) error {
+	return json.NewEncoder(w).Encode(r.List())
+}
+
+// LoadRegistry reads a registry written by Save, validating every entry.
+func LoadRegistry(rd io.Reader) (*Registry, error) {
+	var entries []RegistryEntry
+	if err := json.NewDecoder(rd).Decode(&entries); err != nil {
+		return nil, fmt.Errorf("registry: decode: %w", err)
+	}
+	reg := NewRegistry()
+	for _, e := range entries {
+		if err := reg.Register(e); err != nil {
+			return nil, fmt.Errorf("registry: entry %s: %w", e.Name, err)
+		}
+	}
+	return reg, nil
+}

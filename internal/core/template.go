@@ -1,0 +1,169 @@
+package core
+
+// template.go implements the developer-facing function template of
+// Figure 5: INFless extends the OpenFaaS YAML (faas-cli's ParseYAML) with
+// an SLO declaration and a maximum batch size. The parser below handles
+// the template subset those files use — two-level indented mappings with
+// scalar leaves — with the Go standard library only.
+//
+//	provider:
+//	  name: infless
+//	functions:
+//	  resnet-classify:
+//	    lang: python3
+//	    handler: ./resnet50
+//	    image: sdcbench/tfserving-infless:latest
+//	    model: ResNet-50
+//	    slo: 200ms
+//	    maxbatchsize: 32
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/tanklab/infless/internal/model"
+)
+
+// TemplateFunction is one parsed function entry.
+type TemplateFunction struct {
+	Name         string
+	Lang         string
+	Handler      string
+	Image        string
+	ModelName    string
+	SLO          time.Duration
+	MaxBatchSize int
+}
+
+// Validate checks the entry against the model zoo and the paper's
+// constraints (sub-second SLOs, batch sizes up to the model's limit).
+func (t TemplateFunction) Validate() error {
+	if t.Name == "" {
+		return fmt.Errorf("template: function without a name")
+	}
+	if t.ModelName == "" {
+		return fmt.Errorf("template %s: missing model", t.Name)
+	}
+	m := model.Get(t.ModelName)
+	if m == nil {
+		return fmt.Errorf("template %s: unknown model %q", t.Name, t.ModelName)
+	}
+	if t.SLO <= 0 {
+		return fmt.Errorf("template %s: missing or non-positive slo", t.Name)
+	}
+	if t.MaxBatchSize < 0 || t.MaxBatchSize > m.MaxBatch {
+		return fmt.Errorf("template %s: maxbatchsize %d out of [0,%d]", t.Name, t.MaxBatchSize, m.MaxBatch)
+	}
+	return nil
+}
+
+// ParseTemplate parses an INFless function template. It returns the
+// functions in declaration order.
+func ParseTemplate(src string) ([]TemplateFunction, error) {
+	var (
+		fns     []TemplateFunction
+		cur     *TemplateFunction
+		inFuncs bool
+		lineNo  int
+	)
+	flush := func() error {
+		if cur == nil {
+			return nil
+		}
+		if err := cur.Validate(); err != nil {
+			return err
+		}
+		fns = append(fns, *cur)
+		cur = nil
+		return nil
+	}
+	for _, raw := range strings.Split(src, "\n") {
+		lineNo++
+		line := strings.TrimRight(raw, " \t\r")
+		if line == "" {
+			continue
+		}
+		trimmed := strings.TrimLeft(line, " ")
+		if strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		indent := len(line) - len(trimmed)
+		key, value, err := splitKV(trimmed, lineNo)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case indent == 0:
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			inFuncs = key == "functions"
+		case indent == 2 && inFuncs:
+			if value != "" {
+				return nil, fmt.Errorf("template line %d: function name %q must not carry a value", lineNo, key)
+			}
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			cur = &TemplateFunction{Name: key}
+		case indent >= 4 && inFuncs && cur != nil:
+			if err := setField(cur, key, value, lineNo); err != nil {
+				return nil, err
+			}
+		case !inFuncs:
+			// provider block etc.: accepted, ignored.
+		default:
+			return nil, fmt.Errorf("template line %d: unexpected indentation", lineNo)
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	if len(fns) == 0 {
+		return nil, fmt.Errorf("template: no functions declared")
+	}
+	return fns, nil
+}
+
+func splitKV(s string, lineNo int) (key, value string, err error) {
+	i := strings.Index(s, ":")
+	if i < 0 {
+		return "", "", fmt.Errorf("template line %d: expected key: value", lineNo)
+	}
+	key = strings.TrimSpace(s[:i])
+	value = strings.TrimSpace(s[i+1:])
+	if key == "" {
+		return "", "", fmt.Errorf("template line %d: empty key", lineNo)
+	}
+	return key, value, nil
+}
+
+func setField(t *TemplateFunction, key, value string, lineNo int) error {
+	switch key {
+	case "lang":
+		t.Lang = value
+	case "handler":
+		t.Handler = value
+	case "image":
+		t.Image = value
+	case "model":
+		t.ModelName = value
+	case "slo":
+		d, err := time.ParseDuration(value)
+		if err != nil {
+			return fmt.Errorf("template line %d: bad slo %q: %v", lineNo, value, err)
+		}
+		t.SLO = d
+	case "maxbatchsize":
+		n, err := strconv.Atoi(value)
+		if err != nil {
+			return fmt.Errorf("template line %d: bad maxbatchsize %q: %v", lineNo, value, err)
+		}
+		t.MaxBatchSize = n
+	default:
+		return fmt.Errorf("template line %d: unknown field %q", lineNo, key)
+	}
+	return nil
+}

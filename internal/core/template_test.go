@@ -1,0 +1,112 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const goodTemplate = `
+provider:
+  name: infless
+
+functions:
+  resnet-classify:
+    lang: python3
+    handler: ./resnet50
+    image: sdcbench/tfserving-infless:latest
+    model: ResNet-50
+    slo: 200ms
+    maxbatchsize: 32
+  qa-robot:
+    # comments are allowed
+    lang: python3
+    handler: ./textcnn
+    image: sdcbench/tfserving-infless:latest
+    model: TextCNN-69
+    slo: 50ms
+`
+
+func TestParseTemplate(t *testing.T) {
+	fns, err := ParseTemplate(goodTemplate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fns) != 2 {
+		t.Fatalf("parsed %d functions, want 2", len(fns))
+	}
+	r := fns[0]
+	if r.Name != "resnet-classify" || r.ModelName != "ResNet-50" ||
+		r.SLO != 200*time.Millisecond || r.MaxBatchSize != 32 || r.Lang != "python3" {
+		t.Fatalf("first function parsed wrong: %+v", r)
+	}
+	q := fns[1]
+	if q.Name != "qa-robot" || q.SLO != 50*time.Millisecond || q.MaxBatchSize != 0 {
+		t.Fatalf("second function parsed wrong: %+v", q)
+	}
+}
+
+func TestParseTemplateErrors(t *testing.T) {
+	cases := map[string]string{
+		"no functions": `provider:
+  name: infless
+`,
+		"unknown model": `functions:
+  f:
+    model: NoSuchNet
+    slo: 100ms
+`,
+		"missing slo": `functions:
+  f:
+    model: MNIST
+`,
+		"bad slo": `functions:
+  f:
+    model: MNIST
+    slo: fast
+`,
+		"unknown field": `functions:
+  f:
+    model: MNIST
+    slo: 100ms
+    gpus: 4
+`,
+		"batch too large": `functions:
+  f:
+    model: MNIST
+    slo: 100ms
+    maxbatchsize: 1000
+`,
+		"missing colon": `functions:
+  f:
+    model MNIST
+`,
+		"value on function name": `functions:
+  f: yes
+    model: MNIST
+`,
+	}
+	for name, src := range cases {
+		if _, err := ParseTemplate(src); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestParseTemplateWhitespaceTolerance(t *testing.T) {
+	src := strings.ReplaceAll(goodTemplate, "\n", " \t\r\n")
+	fns, err := ParseTemplate(src)
+	if err != nil || len(fns) != 2 {
+		t.Fatalf("trailing whitespace broke parsing: %v, %d fns", err, len(fns))
+	}
+}
+
+func TestTemplateValidateDirect(t *testing.T) {
+	good := TemplateFunction{Name: "x", ModelName: "MNIST", SLO: time.Second}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid entry rejected: %v", err)
+	}
+	if err := (TemplateFunction{ModelName: "MNIST", SLO: time.Second}).Validate(); err == nil {
+		t.Error("missing name accepted")
+	}
+}

@@ -1,0 +1,82 @@
+package gateway
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestClientRoundTrip(t *testing.T) {
+	gw := New(Config{SpeedFactor: 500, IdleTimeout: 5 * time.Second, Seed: 1})
+	ts := httptest.NewServer(gw)
+	defer ts.Close()
+	defer gw.Close()
+
+	c := NewClient(ts.URL + "/")
+
+	if err := c.Deploy(DeployRequest{Name: "f", Model: "MobileNet", SLO: "100ms"}); err != nil {
+		t.Fatal(err)
+	}
+	names, err := c.DeployTemplate("functions:\n  g:\n    model: MNIST\n    slo: 200ms\n")
+	if err != nil || len(names) != 1 || names[0] != "g" {
+		t.Fatalf("template: %v %v", names, err)
+	}
+
+	list, err := c.List()
+	if err != nil || len(list) != 2 {
+		t.Fatalf("list: %v %v", list, err)
+	}
+
+	inv, err := c.Invoke("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.Function != "f" || inv.LatencyMs <= 0 {
+		t.Fatalf("invoke: %+v", inv)
+	}
+
+	ms, err := c.Metrics()
+	if err != nil || len(ms) != 2 {
+		t.Fatalf("metrics: %v %v", ms, err)
+	}
+	for _, m := range ms {
+		if m.Name == "f" && m.Served != 1 {
+			t.Fatalf("served = %d", m.Served)
+		}
+	}
+
+	if err := c.Delete("f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Invoke("f"); err == nil {
+		t.Fatal("invoking deleted function should fail")
+	}
+	if err := c.Delete("f"); err == nil {
+		t.Fatal("double delete should fail")
+	}
+}
+
+func TestClientErrorsSurfaceAPIMessage(t *testing.T) {
+	gw := New(Config{SpeedFactor: 500, Seed: 1})
+	ts := httptest.NewServer(gw)
+	defer ts.Close()
+	defer gw.Close()
+	c := NewClient(ts.URL)
+	err := c.Deploy(DeployRequest{Name: "x", Model: "NoSuchNet", SLO: "1s"})
+	if err == nil {
+		t.Fatal("bad model accepted")
+	}
+	if got := err.Error(); got == "" || got == "gateway: unexpected status 400" {
+		t.Fatalf("error lacks API message: %q", got)
+	}
+}
+
+func TestClientAgainstDeadServer(t *testing.T) {
+	c := NewClient("http://127.0.0.1:1") // nothing listens here
+	if _, err := c.List(); err == nil {
+		t.Fatal("dead server should error")
+	}
+	if err := c.Deploy(DeployRequest{Name: "f", Model: "MNIST", SLO: "1s"}); err == nil {
+		t.Fatal("dead server should error")
+	}
+}

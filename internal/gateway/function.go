@@ -1,0 +1,364 @@
+package gateway
+
+// function.go is the wall-clock data plane: per-function instance pools
+// whose goroutines collect batches (full-or-timeout, as in Section 3.2)
+// and emulate execution by sleeping for the cost model's batch time.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/tanklab/infless/internal/metrics"
+	"github.com/tanklab/infless/internal/model"
+	"github.com/tanklab/infless/internal/scheduler"
+)
+
+// function is one deployed function's runtime state.
+type function struct {
+	srv   *Server
+	model *model.Model
+	plan  *scheduler.Plan
+
+	mu        sync.Mutex
+	instances []*instance
+	recorder  *metrics.LatencyRecorder
+	closed    bool
+	arrivals  []time.Time // recent arrival instants (rate estimation)
+}
+
+// noteArrival records an invocation instant and returns the estimated
+// model-time request rate: wall-clock rate times the speed factor (the
+// emulated world runs SpeedFactor times faster than the wall).
+func (f *function) noteArrival(now time.Time) float64 {
+	const window = 128
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.arrivals = append(f.arrivals, now)
+	if len(f.arrivals) > window {
+		f.arrivals = f.arrivals[len(f.arrivals)-window:]
+	}
+	if len(f.arrivals) < 2 {
+		return 1
+	}
+	elapsed := f.arrivals[len(f.arrivals)-1].Sub(f.arrivals[0]).Seconds()
+	if elapsed <= 0 {
+		elapsed = 1e-3
+	}
+	rate := float64(len(f.arrivals)-1) / elapsed * f.srv.cfg.SpeedFactor
+	if rate < 1 {
+		rate = 1
+	}
+	return rate
+}
+
+// invocation is one in-flight request.
+type invocation struct {
+	arrived time.Time
+	respCh  chan invokeResult
+}
+
+type invokeResult struct {
+	res InvokeResponse
+	err error
+}
+
+// instance is one running instance with its own batch queue (a buffered
+// channel) and collector goroutine.
+type instance struct {
+	id     int
+	f      *function
+	cand   scheduler.Candidate
+	server int
+	reqCh  chan *invocation
+	quit   chan struct{}
+	once   sync.Once
+	warmAt time.Time
+	rng    *rand.Rand
+}
+
+// invoke routes one request: try existing instances, scale out if
+// needed, and wait for the batch execution to answer.
+func (f *function) invoke(ctx context.Context) (InvokeResponse, error) {
+	inv := &invocation{arrived: time.Now(), respCh: make(chan invokeResult, 1)}
+	rate := f.noteArrival(inv.arrived)
+
+	if !f.offer(inv) {
+		if err := f.scaleOut(rate); err != nil {
+			f.drop()
+			return InvokeResponse{}, err
+		}
+		if !f.offer(inv) {
+			f.drop()
+			return InvokeResponse{}, fmt.Errorf("gateway: %s saturated", f.name())
+		}
+	}
+	slo := f.recorder.SLO()
+	deadline := time.NewTimer(scale(4*slo, f.srv.cfg.SpeedFactor) + time.Second)
+	defer deadline.Stop()
+	select {
+	case r := <-inv.respCh:
+		return r.res, r.err
+	case <-ctx.Done():
+		return InvokeResponse{}, ctx.Err()
+	case <-deadline.C:
+		return InvokeResponse{}, fmt.Errorf("gateway: %s timed out", f.name())
+	}
+}
+
+// offer attempts a non-blocking enqueue on any live instance.
+func (f *function) offer(inv *invocation) bool {
+	f.mu.Lock()
+	insts := append([]*instance(nil), f.instances...)
+	f.mu.Unlock()
+	for _, inst := range insts {
+		select {
+		case inst.reqCh <- inv:
+			return true
+		default:
+		}
+	}
+	return false
+}
+
+// scaleOut launches one more instance via Algorithm 1 (the plan was built
+// with MaxInstancesPerCall = 1). The rate estimate lets AvailableConfig
+// admit saturable batch sizes, exactly as the autoscaler does in the
+// simulator.
+func (f *function) scaleOut(rate float64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return fmt.Errorf("gateway: %s is undeployed", f.name())
+	}
+	f.srv.clMu.Lock()
+	decisions, _ := f.plan.Schedule(rate, f.srv.cfg.Cluster)
+	f.srv.clMu.Unlock()
+	if len(decisions) == 0 {
+		return fmt.Errorf("gateway: cluster cannot host another %s instance", f.name())
+	}
+	d := decisions[0]
+	inst := &instance{
+		id:     len(f.instances) + 1,
+		f:      f,
+		cand:   d.Candidate,
+		server: d.Server,
+		reqCh:  make(chan *invocation, 2*d.Candidate.B),
+		quit:   make(chan struct{}),
+		warmAt: time.Now().Add(f.coldStart()),
+		rng:    rand.New(rand.NewSource(f.srv.cfg.Seed + int64(len(f.instances)) + 7)),
+	}
+	f.instances = append(f.instances, inst)
+	go inst.loop()
+	return nil
+}
+
+// coldStart returns the emulated cold-start duration at gateway speed.
+func (f *function) coldStart() time.Duration {
+	// The gateway always "pulls" from a warm image cache; model loading
+	// still costs time, scaled like execution.
+	return scale(modelColdStart(f.model), f.srv.cfg.SpeedFactor)
+}
+
+func modelColdStart(m *model.Model) time.Duration {
+	return time.Duration(float64(m.MemoryMB)/220.0*float64(time.Second)) + 900*time.Millisecond
+}
+
+func scale(d time.Duration, factor float64) time.Duration {
+	return time.Duration(float64(d) / factor)
+}
+
+func (f *function) name() string {
+	return f.plan.Fn.Name
+}
+
+func (f *function) drop() {
+	f.mu.Lock()
+	f.recorder.Drop()
+	f.mu.Unlock()
+}
+
+func (f *function) observe(s metrics.Sample) {
+	f.mu.Lock()
+	f.recorder.Observe(s)
+	f.mu.Unlock()
+}
+
+func (f *function) metrics() MetricsEntry {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return MetricsEntry{
+		Name:          f.name(),
+		Served:        f.recorder.Served(),
+		Dropped:       f.recorder.Dropped(),
+		ViolationRate: f.recorder.ViolationRate(),
+		MeanMs:        float64(f.recorder.Mean()) / float64(time.Millisecond),
+		P99Ms:         float64(f.recorder.Percentile(0.99)) / float64(time.Millisecond),
+		Instances:     len(f.instances),
+	}
+}
+
+// shutdown stops every instance and releases resources.
+func (f *function) shutdown() {
+	f.mu.Lock()
+	f.closed = true
+	insts := append([]*instance(nil), f.instances...)
+	f.instances = nil
+	f.mu.Unlock()
+	for _, inst := range insts {
+		inst.stop()
+	}
+}
+
+// remove drops one instance from the pool (idle reclaim) and releases its
+// cluster resources.
+func (f *function) remove(inst *instance) {
+	f.mu.Lock()
+	for i, x := range f.instances {
+		if x == inst {
+			f.instances = append(f.instances[:i], f.instances[i+1:]...)
+			break
+		}
+	}
+	f.mu.Unlock()
+	f.srv.clMu.Lock()
+	f.srv.cfg.Cluster.Release(inst.server, inst.cand.Res, f.model.MemoryMB)
+	f.srv.clMu.Unlock()
+}
+
+func (inst *instance) stop() {
+	inst.once.Do(func() {
+		close(inst.quit)
+	})
+}
+
+// loop is the instance goroutine: wait for a head request, collect a
+// batch until full or the head times out, emulate execution, respond.
+func (inst *instance) loop() {
+	f := inst.f
+	speed := f.srv.cfg.SpeedFactor
+	timeout := scale(batchTimeout(f.recorder.SLO(), inst.cand.TExec), speed)
+	idle := time.NewTimer(f.srv.cfg.IdleTimeout)
+	defer idle.Stop()
+
+	// Cold start: the instance is not serving until the model loads.
+	coldUntil := inst.warmAt
+	if d := time.Until(coldUntil); d > 0 {
+		select {
+		case <-time.After(d):
+		case <-inst.quit:
+			inst.failAll(fmt.Errorf("gateway: instance stopped"))
+			f.remove(inst)
+			return
+		}
+	}
+
+	for {
+		idle.Reset(f.srv.cfg.IdleTimeout)
+		select {
+		case head := <-inst.reqCh:
+			batch := []*invocation{head}
+			flush := time.NewTimer(timeout)
+		collect:
+			for len(batch) < inst.cand.B {
+				select {
+				case inv := <-inst.reqCh:
+					batch = append(batch, inv)
+				case <-flush.C:
+					break collect
+				case <-inst.quit:
+					flush.Stop()
+					inst.respond(batch, fmt.Errorf("gateway: instance stopped"))
+					f.remove(inst)
+					return
+				}
+			}
+			flush.Stop()
+			exec := f.model.ExecTime(len(batch), inst.cand.Res, model.ExecOptions{
+				Contention: 0.35, NoiseSD: 0.025, Rng: inst.rng,
+			})
+			time.Sleep(scale(exec, speed))
+			inst.finish(batch, exec, coldUntil)
+		case <-idle.C:
+			inst.failAll(nil)
+			f.remove(inst)
+			return
+		case <-inst.quit:
+			inst.failAll(fmt.Errorf("gateway: instance stopped"))
+			f.remove(inst)
+			return
+		}
+	}
+}
+
+// dispatchAllowance is wall-clock overhead (HTTP handling, goroutine
+// scheduling, JSON) that is NOT part of the emulated world and must not
+// be multiplied by the speed factor when reporting model-time metrics.
+const dispatchAllowance = 1500 * time.Microsecond
+
+// finish answers a completed batch and records its samples.
+func (inst *instance) finish(batch []*invocation, exec time.Duration, coldUntil time.Time) {
+	speed := inst.f.srv.cfg.SpeedFactor
+	now := time.Now()
+	for _, inv := range batch {
+		total := now.Sub(inv.arrived)
+		cold := time.Duration(0)
+		if inv.arrived.Before(coldUntil) {
+			cold = coldUntil.Sub(inv.arrived)
+		}
+		queue := total - cold - scale(exec, speed) - dispatchAllowance
+		if queue < 0 {
+			queue = 0
+		}
+		// Record at model time scale: multiply wall components back up so
+		// metrics are comparable across SpeedFactor settings.
+		sample := metrics.Sample{
+			Cold:  time.Duration(float64(cold) * speed),
+			Queue: time.Duration(float64(queue) * speed),
+			Exec:  exec,
+		}
+		inst.f.observe(sample)
+		inv.respCh <- invokeResult{res: InvokeResponse{
+			Function:  inst.f.name(),
+			LatencyMs: float64(sample.Total()) / float64(time.Millisecond),
+			BatchSize: len(batch),
+			ColdStart: cold > 0,
+			Instance:  inst.id,
+		}}
+	}
+}
+
+// respond fails a batch with err (shutdown paths).
+func (inst *instance) respond(batch []*invocation, err error) {
+	for _, inv := range batch {
+		inv.respCh <- invokeResult{err: err}
+	}
+}
+
+// failAll drains and fails everything still queued.
+func (inst *instance) failAll(err error) {
+	for {
+		select {
+		case inv := <-inst.reqCh:
+			if err != nil {
+				inv.respCh <- invokeResult{err: err}
+			} else {
+				inv.respCh <- invokeResult{err: fmt.Errorf("gateway: instance reclaimed")}
+			}
+		default:
+			return
+		}
+	}
+}
+
+// batchTimeout mirrors internal/sim: the longest the head request may
+// wait while leaving room for execution within the SLO.
+func batchTimeout(slo, texec time.Duration) time.Duration {
+	t := slo - texec
+	if t < time.Millisecond {
+		t = time.Millisecond
+	}
+	return t
+}

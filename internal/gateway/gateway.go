@@ -1,0 +1,293 @@
+// Package gateway runs INFless as a real wall-clock HTTP service: the
+// faas-gateway role of the paper's implementation (Section 4). Functions
+// deploy over REST (JSON or an INFless template), invocations batch in
+// real time through the same Eq. 1 admission math, instances are sized
+// and placed by the same Algorithm 1 scheduler against a virtual cluster
+// inventory, and execution is emulated by sleeping for the cost model's
+// ground-truth batch time.
+//
+// Endpoints:
+//
+//	POST   /system/functions        deploy {"name","model","slo","maxBatch"} or a text/yaml template
+//	GET    /system/functions        list deployed functions
+//	DELETE /system/functions/{name} undeploy
+//	POST   /function/{name}         invoke (blocks until the batch executes)
+//	GET    /system/metrics          per-function latency/SLO statistics
+package gateway
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/tanklab/infless/internal/cluster"
+	"github.com/tanklab/infless/internal/core"
+	"github.com/tanklab/infless/internal/metrics"
+	"github.com/tanklab/infless/internal/model"
+	"github.com/tanklab/infless/internal/profiler"
+	"github.com/tanklab/infless/internal/scheduler"
+)
+
+// Config tunes the gateway.
+type Config struct {
+	// Cluster is the resource inventory (default: the 8-server testbed).
+	Cluster *cluster.Cluster
+	// Predictor estimates execution times (default: fresh COP predictor).
+	Predictor scheduler.Predictor
+	// SpeedFactor divides emulated execution times — useful for demos and
+	// tests (e.g. 100 makes a 50ms inference take 0.5ms of wall time).
+	// Default 1 (real time).
+	SpeedFactor float64
+	// IdleTimeout reclaims instances with no traffic (default 60s).
+	IdleTimeout time.Duration
+	// Seed drives execution-time noise.
+	Seed int64
+}
+
+// Server is the INFless HTTP gateway. Create with New, mount as an
+// http.Handler, and Close when done.
+type Server struct {
+	mux  *http.ServeMux
+	cfg  Config
+	pred scheduler.Predictor
+	reg  *core.Registry
+
+	mu  sync.Mutex
+	fns map[string]*function
+	rng *rand.Rand
+
+	// clMu serializes access to cfg.Cluster: the inventory type itself is
+	// single-threaded (the simulator owns it exclusively), but gateway
+	// instances allocate and release concurrently.
+	clMu sync.Mutex
+}
+
+// AllocatedResources returns a concurrency-safe snapshot of the cluster's
+// current allocation (exposed for operational introspection and tests).
+func (s *Server) AllocatedResources() (cpu, gpu int) {
+	s.clMu.Lock()
+	defer s.clMu.Unlock()
+	r := s.cfg.Cluster.TotalAllocated()
+	return r.CPU, r.GPU
+}
+
+// New creates a gateway.
+func New(cfg Config) *Server {
+	if cfg.Cluster == nil {
+		cfg.Cluster = cluster.Testbed()
+	}
+	if cfg.Predictor == nil {
+		cfg.Predictor = scheduler.NewPredictorCache(
+			profiler.NewPredictor(profiler.NewDB(profiler.DefaultDBOptions())))
+	}
+	if cfg.SpeedFactor <= 0 {
+		cfg.SpeedFactor = 1
+	}
+	if cfg.IdleTimeout <= 0 {
+		cfg.IdleTimeout = 60 * time.Second
+	}
+	s := &Server{
+		mux:  http.NewServeMux(),
+		cfg:  cfg,
+		pred: cfg.Predictor,
+		reg:  core.NewRegistry(),
+		fns:  map[string]*function{},
+		rng:  rand.New(rand.NewSource(cfg.Seed + 1)),
+	}
+	s.mux.HandleFunc("POST /system/functions", s.handleDeploy)
+	s.mux.HandleFunc("GET /system/functions", s.handleList)
+	s.mux.HandleFunc("DELETE /system/functions/{name}", s.handleDelete)
+	s.mux.HandleFunc("POST /function/{name}", s.handleInvoke)
+	s.mux.HandleFunc("GET /system/metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close stops all function instances and releases their resources.
+func (s *Server) Close() {
+	s.mu.Lock()
+	fns := make([]*function, 0, len(s.fns))
+	for _, f := range s.fns {
+		fns = append(fns, f)
+	}
+	s.fns = map[string]*function{}
+	s.mu.Unlock()
+	for _, f := range fns {
+		f.shutdown()
+	}
+}
+
+// DeployRequest is the JSON deployment body.
+type DeployRequest struct {
+	Name     string `json:"name"`
+	Model    string `json:"model"`
+	SLO      string `json:"slo"` // Go duration, e.g. "200ms"
+	MaxBatch int    `json:"maxBatch,omitempty"`
+}
+
+func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
+	var entries []core.RegistryEntry
+	switch ct := r.Header.Get("Content-Type"); {
+	case ct == "application/json" || ct == "":
+		var req DeployRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad json: %v", err)
+			return
+		}
+		slo, err := time.ParseDuration(req.SLO)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad slo: %v", err)
+			return
+		}
+		entries = append(entries, core.RegistryEntry{
+			Name: req.Name, ModelName: req.Model, SLO: slo, MaxBatchSize: req.MaxBatch,
+		})
+	case ct == "text/yaml" || ct == "application/x-yaml":
+		buf := make([]byte, 0, 4096)
+		tmp := make([]byte, 4096)
+		for {
+			n, err := r.Body.Read(tmp)
+			buf = append(buf, tmp[:n]...)
+			if err != nil {
+				break
+			}
+			if len(buf) > 1<<20 {
+				httpError(w, http.StatusRequestEntityTooLarge, "template too large")
+				return
+			}
+		}
+		fns, err := core.ParseTemplate(string(buf))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad template: %v", err)
+			return
+		}
+		for _, t := range fns {
+			entries = append(entries, core.RegistryEntry{
+				Name: t.Name, ModelName: t.ModelName, SLO: t.SLO,
+				MaxBatchSize: t.MaxBatchSize, Image: t.Image, Handler: t.Handler,
+			})
+		}
+	default:
+		httpError(w, http.StatusUnsupportedMediaType, "use application/json or text/yaml")
+		return
+	}
+
+	var deployed []string
+	for _, e := range entries {
+		if err := s.deploy(e); err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		deployed = append(deployed, e.Name)
+	}
+	w.WriteHeader(http.StatusCreated)
+	_ = json.NewEncoder(w).Encode(map[string]any{"deployed": deployed})
+}
+
+func (s *Server) deploy(e core.RegistryEntry) error {
+	if err := s.reg.Register(e); err != nil {
+		return err
+	}
+	m := model.MustGet(e.ModelName)
+	plan := scheduler.BuildPlan(scheduler.Function{Name: e.Name, Model: m, SLO: e.SLO},
+		s.pred, scheduler.Options{MaxInstancesPerCall: 1})
+	if !plan.Feasible() {
+		s.reg.Delete(e.Name)
+		return fmt.Errorf("gateway: no configuration of %s meets %v", e.ModelName, e.SLO)
+	}
+	f := &function{
+		srv:      s,
+		model:    m,
+		plan:     plan,
+		recorder: metrics.NewLatencyRecorder(e.SLO),
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.fns[e.Name]; exists {
+		return fmt.Errorf("gateway: function %s already deployed", e.Name)
+	}
+	s.fns[e.Name] = f
+	return nil
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	_ = json.NewEncoder(w).Encode(s.reg.List())
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.Lock()
+	f, ok := s.fns[name]
+	delete(s.fns, name)
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown function %s", name)
+		return
+	}
+	s.reg.Delete(name)
+	f.shutdown()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// InvokeResponse is the JSON body returned for each invocation.
+type InvokeResponse struct {
+	Function  string  `json:"function"`
+	LatencyMs float64 `json:"latencyMs"`
+	BatchSize int     `json:"batchSize"`
+	ColdStart bool    `json:"coldStart"`
+	Instance  int     `json:"instance"`
+}
+
+func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.Lock()
+	f, ok := s.fns[name]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown function %s", name)
+		return
+	}
+	res, err := f.invoke(r.Context())
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	_ = json.NewEncoder(w).Encode(res)
+}
+
+// MetricsEntry is one function's statistics in /system/metrics.
+type MetricsEntry struct {
+	Name          string  `json:"name"`
+	Served        uint64  `json:"served"`
+	Dropped       uint64  `json:"dropped"`
+	ViolationRate float64 `json:"sloViolationRate"`
+	MeanMs        float64 `json:"meanLatencyMs"`
+	P99Ms         float64 `json:"p99LatencyMs"`
+	Instances     int     `json:"instances"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	fns := make([]*function, 0, len(s.fns))
+	for _, f := range s.fns {
+		fns = append(fns, f)
+	}
+	s.mu.Unlock()
+	out := make([]MetricsEntry, 0, len(fns))
+	for _, f := range fns {
+		out = append(out, f.metrics())
+	}
+	_ = json.NewEncoder(w).Encode(out)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,238 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testServer runs the gateway 500x faster than real time so cold starts
+// and batch windows complete in milliseconds.
+func testServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	gw := New(Config{SpeedFactor: 500, IdleTimeout: 2 * time.Second, Seed: 1})
+	ts := httptest.NewServer(gw)
+	t.Cleanup(func() {
+		ts.Close()
+		gw.Close()
+	})
+	return gw, ts
+}
+
+func deployJSON(t *testing.T, ts *httptest.Server, name, model, slo string) *http.Response {
+	t.Helper()
+	body, _ := json.Marshal(DeployRequest{Name: name, Model: model, SLO: slo})
+	resp, err := http.Post(ts.URL+"/system/functions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestDeployInvokeLifecycle(t *testing.T) {
+	_, ts := testServer(t)
+	if resp := deployJSON(t, ts, "classify", "MobileNet", "100ms"); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("deploy status = %d", resp.StatusCode)
+	}
+
+	// List shows the function.
+	resp, err := http.Get(ts.URL + "/system/functions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&list)
+	if len(list) != 1 || list[0]["name"] != "classify" {
+		t.Fatalf("list = %+v", list)
+	}
+
+	// Invoke a few times.
+	for i := 0; i < 5; i++ {
+		resp, err := http.Post(ts.URL+"/function/classify", "application/json", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("invoke status = %d", resp.StatusCode)
+		}
+		var inv InvokeResponse
+		if err := json.NewDecoder(resp.Body).Decode(&inv); err != nil {
+			t.Fatal(err)
+		}
+		if inv.Function != "classify" || inv.LatencyMs <= 0 || inv.BatchSize < 1 {
+			t.Fatalf("invoke response = %+v", inv)
+		}
+		if i == 0 && !inv.ColdStart {
+			t.Error("first invocation should be a cold start")
+		}
+	}
+
+	// Metrics reflect the invocations.
+	resp, err = http.Get(ts.URL + "/system/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ms []MetricsEntry
+	_ = json.NewDecoder(resp.Body).Decode(&ms)
+	if len(ms) != 1 || ms[0].Served != 5 || ms[0].Instances < 1 {
+		t.Fatalf("metrics = %+v", ms)
+	}
+
+	// Undeploy.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/system/functions/classify", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil || resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: %v %d", err, resp.StatusCode)
+	}
+	resp, _ = http.Post(ts.URL+"/function/classify", "application/json", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("invoke after delete = %d", resp.StatusCode)
+	}
+}
+
+func TestDeployTemplateYAML(t *testing.T) {
+	_, ts := testServer(t)
+	tpl := `functions:
+  vision:
+    model: MobileNet
+    slo: 100ms
+  text:
+    model: TextCNN-69
+    slo: 80ms
+`
+	resp, err := http.Post(ts.URL+"/system/functions", "text/yaml", strings.NewReader(tpl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("template deploy status = %d", resp.StatusCode)
+	}
+	var out map[string][]string
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	if len(out["deployed"]) != 2 {
+		t.Fatalf("deployed = %+v", out)
+	}
+}
+
+func TestDeployErrors(t *testing.T) {
+	_, ts := testServer(t)
+	cases := []struct {
+		name, model, slo string
+	}{
+		{"", "MNIST", "1s"},
+		{"f", "NoSuchNet", "1s"},
+		{"f", "MNIST", "not-a-duration"},
+	}
+	for _, c := range cases {
+		if resp := deployJSON(t, ts, c.name, c.model, c.slo); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%+v: status %d, want 400", c, resp.StatusCode)
+		}
+	}
+	// Duplicate deploys conflict.
+	deployJSON(t, ts, "dup", "MNIST", "1s")
+	if resp := deployJSON(t, ts, "dup", "MNIST", "1s"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("duplicate deploy status = %d", resp.StatusCode)
+	}
+	// Infeasible SLO rejected at deploy time.
+	if resp := deployJSON(t, ts, "impossible", "Bert-v1", "1ms"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("infeasible SLO status = %d", resp.StatusCode)
+	}
+	// Wrong content type.
+	resp, _ := http.Post(ts.URL+"/system/functions", "application/xml", strings.NewReader("<f/>"))
+	if resp.StatusCode != http.StatusUnsupportedMediaType {
+		t.Errorf("xml deploy status = %d", resp.StatusCode)
+	}
+}
+
+func TestConcurrentInvocationsBatch(t *testing.T) {
+	// Moderate acceleration: at 500x the batch window shrinks below HTTP
+	// scheduling jitter and requests can no longer congregate; 20x keeps
+	// the window at ~10ms of wall time.
+	gw := New(Config{SpeedFactor: 20, IdleTimeout: 5 * time.Second, Seed: 1})
+	ts := httptest.NewServer(gw)
+	t.Cleanup(func() {
+		ts.Close()
+		gw.Close()
+	})
+	if resp := deployJSON(t, ts, "resnet", "ResNet-50", "200ms"); resp.StatusCode != http.StatusCreated {
+		t.Fatal("deploy failed")
+	}
+	// Warm up (absorb the cold start).
+	_, _ = http.Post(ts.URL+"/function/resnet", "application/json", nil)
+
+	const n = 48
+	var wg sync.WaitGroup
+	results := make([]InvokeResponse, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/function/resnet", "application/json", nil)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			errs[i] = json.NewDecoder(resp.Body).Decode(&results[i])
+		}(i)
+	}
+	wg.Wait()
+	served, batched := 0, 0
+	for i := range results {
+		if errs[i] != nil {
+			continue
+		}
+		served++
+		if results[i].BatchSize > 1 {
+			batched++
+		}
+	}
+	if served < n/2 {
+		t.Fatalf("only %d/%d concurrent invocations served", served, n)
+	}
+	if batched == 0 {
+		t.Error("no invocation was batched despite 48 concurrent requests")
+	}
+}
+
+func TestIdleReclaimReleasesResources(t *testing.T) {
+	gw := New(Config{SpeedFactor: 500, IdleTimeout: 100 * time.Millisecond, Seed: 1})
+	ts := httptest.NewServer(gw)
+	defer ts.Close()
+	defer gw.Close()
+	if resp := deployJSON(t, ts, "f", "MNIST", "500ms"); resp.StatusCode != http.StatusCreated {
+		t.Fatal("deploy failed")
+	}
+	if resp, _ := http.Post(ts.URL+"/function/f", "application/json", nil); resp.StatusCode != http.StatusOK {
+		t.Fatal("invoke failed")
+	}
+	// Wait past the idle timeout; the instance must be reclaimed.
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if cpu, gpu := gw.AllocatedResources(); cpu == 0 && gpu == 0 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	cpu, gpu := gw.AllocatedResources()
+	t.Fatalf("resources still allocated after idle timeout: cpu=%d gpu=%d", cpu, gpu)
+}
+
+func TestInvokeUnknownFunction(t *testing.T) {
+	_, ts := testServer(t)
+	resp, _ := http.Post(ts.URL+"/function/ghost", "application/json", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,162 @@
+// Package loadgen drives an INFless gateway (or any HTTP endpoint) with
+// trace-shaped request load and collects client-side latency statistics —
+// the role of the paper artifact's loadGen/LoadGenSimClient tools.
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/tanklab/infless/internal/metrics"
+	"github.com/tanklab/infless/internal/workload"
+)
+
+// Config describes one load-generation run.
+type Config struct {
+	// URL is the invocation endpoint (POST per request).
+	URL string
+	// Trace shapes the arrival rate; arrivals are Poisson within each
+	// trace step.
+	Trace *workload.Trace
+	// Duration bounds the run (0 = the trace's own length).
+	Duration time.Duration
+	// SpeedFactor compresses trace time: 60 plays one trace minute per
+	// wall second. Default 1.
+	SpeedFactor float64
+	// Concurrency bounds in-flight requests (default 64).
+	Concurrency int
+	// SLO classifies client-observed latencies (0 disables).
+	SLO time.Duration
+	// Seed drives the arrival process.
+	Seed int64
+	// Client overrides the HTTP client (tests).
+	Client *http.Client
+}
+
+// Stats summarizes a run from the client's perspective.
+type Stats struct {
+	Sent        uint64
+	OK          uint64
+	Failed      uint64
+	MeanMs      float64
+	P50Ms       float64
+	P99Ms       float64
+	SLOMissRate float64
+	Elapsed     time.Duration
+}
+
+// Run generates the load and blocks until the trace (or Duration) ends
+// and all in-flight requests complete. Cancel ctx to stop early.
+func Run(ctx context.Context, cfg Config) (Stats, error) {
+	if cfg.URL == "" || cfg.Trace == nil {
+		return Stats{}, fmt.Errorf("loadgen: URL and Trace required")
+	}
+	if cfg.SpeedFactor <= 0 {
+		cfg.SpeedFactor = 1
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 64
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	limit := cfg.Duration
+	if limit == 0 {
+		limit = cfg.Trace.Duration()
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed + 3))
+	stream := workload.NewStream(cfg.Trace, limit, rng)
+
+	var (
+		mu  sync.Mutex
+		rec = metrics.NewLatencyRecorder(cfg.SLO)
+		wg  sync.WaitGroup
+		sem = make(chan struct{}, cfg.Concurrency)
+	)
+	var sent, failed uint64
+	start := time.Now()
+
+	for {
+		at, ok := stream.Next()
+		if !ok {
+			break
+		}
+		// Convert virtual arrival time to wall time.
+		wall := start.Add(time.Duration(float64(at) / cfg.SpeedFactor))
+		if d := time.Until(wall); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				wg.Wait()
+				return collect(&mu, rec, sent, failed, time.Since(start)), ctx.Err()
+			}
+		}
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			wg.Wait()
+			return collect(&mu, rec, sent, failed, time.Since(start)), ctx.Err()
+		}
+		sent++
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			t0 := time.Now()
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.URL, nil)
+			if err != nil {
+				recordFail(&mu, rec, &failed)
+				return
+			}
+			resp, err := client.Do(req)
+			if err != nil || resp.StatusCode != http.StatusOK {
+				if resp != nil {
+					resp.Body.Close()
+				}
+				recordFail(&mu, rec, &failed)
+				return
+			}
+			resp.Body.Close()
+			lat := time.Duration(float64(time.Since(t0)) * cfg.SpeedFactor)
+			mu.Lock()
+			rec.Observe(metrics.Sample{Exec: lat})
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return collect(&mu, rec, sent, failed, time.Since(start)), nil
+}
+
+func recordFail(mu *sync.Mutex, rec *metrics.LatencyRecorder, failed *uint64) {
+	mu.Lock()
+	rec.Drop()
+	*failed++
+	mu.Unlock()
+}
+
+func collect(mu *sync.Mutex, rec *metrics.LatencyRecorder, sent, failed uint64, elapsed time.Duration) Stats {
+	mu.Lock()
+	defer mu.Unlock()
+	return Stats{
+		Sent:        sent,
+		OK:          rec.Served(),
+		Failed:      failed,
+		MeanMs:      float64(rec.Mean()) / float64(time.Millisecond),
+		P50Ms:       float64(rec.Percentile(0.5)) / float64(time.Millisecond),
+		P99Ms:       float64(rec.Percentile(0.99)) / float64(time.Millisecond),
+		SLOMissRate: rec.ViolationRate(),
+		Elapsed:     elapsed,
+	}
+}
+
+// String renders the stats.
+func (s Stats) String() string {
+	return fmt.Sprintf("sent=%d ok=%d failed=%d mean=%.1fms p50=%.1fms p99=%.1fms sloMiss=%.2f%% elapsed=%v",
+		s.Sent, s.OK, s.Failed, s.MeanMs, s.P50Ms, s.P99Ms, 100*s.SLOMissRate, s.Elapsed.Round(time.Millisecond))
+}

@@ -1,0 +1,114 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/tanklab/infless/internal/gateway"
+	"github.com/tanklab/infless/internal/workload"
+)
+
+func TestRunAgainstStubServer(t *testing.T) {
+	var hits atomic.Uint64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	stats, err := Run(context.Background(), Config{
+		URL:         ts.URL,
+		Trace:       workload.Constant(100, 2*time.Second, time.Second),
+		SpeedFactor: 20, // 2 virtual seconds in 100ms of wall time
+		SLO:         time.Second,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Sent < 150 || stats.OK != hits.Load() || stats.Failed != 0 {
+		t.Fatalf("stats = %+v (hits %d)", stats, hits.Load())
+	}
+	if stats.MeanMs <= 0 || stats.P99Ms < stats.P50Ms {
+		t.Fatalf("latency stats inconsistent: %+v", stats)
+	}
+	if stats.String() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestRunCountsFailures(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	stats, err := Run(context.Background(), Config{
+		URL:         ts.URL,
+		Trace:       workload.Constant(50, time.Second, time.Second),
+		SpeedFactor: 20,
+		Seed:        2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Failed == 0 || stats.OK != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	_, err := Run(ctx, Config{
+		URL:   ts.URL,
+		Trace: workload.Constant(1, time.Hour, time.Minute),
+		Seed:  3,
+	})
+	if err == nil {
+		t.Fatal("cancellation not reported")
+	}
+}
+
+// End-to-end: the load generator drives a real gateway instance.
+func TestRunAgainstGateway(t *testing.T) {
+	gw := gateway.New(gateway.Config{SpeedFactor: 200, IdleTimeout: 5 * time.Second, Seed: 1})
+	ts := httptest.NewServer(gw)
+	defer ts.Close()
+	defer gw.Close()
+
+	body, _ := json.Marshal(gateway.DeployRequest{Name: "f", Model: "MobileNet", SLO: "150ms"})
+	resp, err := http.Post(ts.URL+"/system/functions", "application/json", bytes.NewReader(body))
+	if err != nil || resp.StatusCode != http.StatusCreated {
+		t.Fatalf("deploy: %v %v", err, resp.Status)
+	}
+
+	stats, err := Run(context.Background(), Config{
+		URL:         ts.URL + "/function/f",
+		Trace:       workload.Constant(40, 3*time.Second, time.Second),
+		SpeedFactor: 10,
+		SLO:         150 * time.Millisecond,
+		Seed:        4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.OK < 50 {
+		t.Fatalf("too few successes: %+v", stats)
+	}
+}

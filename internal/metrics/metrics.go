@@ -1,0 +1,261 @@
+// Package metrics collects the measurements the INFless evaluation
+// reports: end-to-end latency with its cold-start / batch-queue /
+// execution breakdown (Figure 15), SLO violation rates, throughput per
+// unit of occupied resource (Figure 12/18), and time-integrated resource
+// provisioning (Figure 14).
+package metrics
+
+import (
+	"math"
+	"time"
+
+	"github.com/tanklab/infless/internal/perf"
+)
+
+// Sample is the latency decomposition of one served request:
+// l = t_cold + t_batch + t_exec (Section 3.1).
+type Sample struct {
+	Cold  time.Duration // cold-start wait (0 when warm)
+	Queue time.Duration // time waiting in the batch queue
+	Exec  time.Duration // batch execution time
+}
+
+// Total is the end-to-end latency of the request.
+func (s Sample) Total() time.Duration { return s.Cold + s.Queue + s.Exec }
+
+// histogram is a log-bucketed latency histogram: constant relative error
+// (~5%) from 1 microsecond to ~1 hour in a few hundred buckets, so
+// million-request simulations stay O(1) memory.
+type histogram struct {
+	counts []uint64
+	total  uint64
+}
+
+const (
+	histMin    = float64(time.Microsecond)
+	histGrowth = 1.05
+)
+
+var histBuckets = func() int {
+	return int(math.Ceil(math.Log(float64(time.Hour)/histMin)/math.Log(histGrowth))) + 2
+}()
+
+func bucketOf(d time.Duration) int {
+	if d <= time.Microsecond {
+		return 0
+	}
+	b := int(math.Log(float64(d)/histMin)/math.Log(histGrowth)) + 1
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+func bucketUpper(b int) time.Duration {
+	if b <= 0 {
+		return time.Microsecond
+	}
+	return time.Duration(histMin * math.Pow(histGrowth, float64(b)))
+}
+
+func (h *histogram) add(d time.Duration) {
+	if h.counts == nil {
+		h.counts = make([]uint64, histBuckets)
+	}
+	h.counts[bucketOf(d)]++
+	h.total++
+}
+
+func (h *histogram) percentile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	need := uint64(math.Ceil(q * float64(h.total)))
+	if need < 1 {
+		need = 1
+	}
+	var cum uint64
+	for b, c := range h.counts {
+		cum += c
+		if cum >= need {
+			return bucketUpper(b)
+		}
+	}
+	return bucketUpper(histBuckets - 1)
+}
+
+// LatencyRecorder accumulates per-request latency samples for one
+// function (or one system run).
+type LatencyRecorder struct {
+	hist histogram
+
+	served     uint64
+	dropped    uint64
+	coldCount  uint64
+	violations uint64
+	slo        time.Duration
+
+	sumTotal time.Duration
+	sumCold  time.Duration
+	sumQueue time.Duration
+	sumExec  time.Duration
+}
+
+// NewLatencyRecorder creates a recorder that checks violations against
+// the given SLO (zero disables violation accounting).
+func NewLatencyRecorder(slo time.Duration) *LatencyRecorder {
+	return &LatencyRecorder{slo: slo}
+}
+
+// Observe records one served request.
+func (r *LatencyRecorder) Observe(s Sample) {
+	total := s.Total()
+	r.hist.add(total)
+	r.served++
+	r.sumTotal += total
+	r.sumCold += s.Cold
+	r.sumQueue += s.Queue
+	r.sumExec += s.Exec
+	if s.Cold > 0 {
+		r.coldCount++
+	}
+	if r.slo > 0 && total > r.slo {
+		r.violations++
+	}
+}
+
+// Drop records a request rejected by over-submission. Drops count as SLO
+// violations: the user never received an answer.
+func (r *LatencyRecorder) Drop() { r.dropped++ }
+
+// Served returns the number of completed requests.
+func (r *LatencyRecorder) Served() uint64 { return r.served }
+
+// Dropped returns the number of dropped requests.
+func (r *LatencyRecorder) Dropped() uint64 { return r.dropped }
+
+// SLO returns the recorder's target latency.
+func (r *LatencyRecorder) SLO() time.Duration { return r.slo }
+
+// ColdRate is the fraction of served requests that paid a cold start.
+func (r *LatencyRecorder) ColdRate() float64 {
+	if r.served == 0 {
+		return 0
+	}
+	return float64(r.coldCount) / float64(r.served)
+}
+
+// ViolationRate is the fraction of all requests (served + dropped) that
+// missed the SLO.
+func (r *LatencyRecorder) ViolationRate() float64 {
+	n := r.served + r.dropped
+	if n == 0 {
+		return 0
+	}
+	return float64(r.violations+r.dropped) / float64(n)
+}
+
+// Percentile returns the q-quantile of end-to-end latency.
+func (r *LatencyRecorder) Percentile(q float64) time.Duration {
+	return r.hist.percentile(q)
+}
+
+// Mean returns the average end-to-end latency.
+func (r *LatencyRecorder) Mean() time.Duration {
+	if r.served == 0 {
+		return 0
+	}
+	return r.sumTotal / time.Duration(r.served)
+}
+
+// Breakdown returns the average cold / queue / exec components
+// (Figure 15 b/c).
+func (r *LatencyRecorder) Breakdown() (cold, queue, exec time.Duration) {
+	if r.served == 0 {
+		return 0, 0, 0
+	}
+	n := time.Duration(r.served)
+	return r.sumCold / n, r.sumQueue / n, r.sumExec / n
+}
+
+// Merge folds another recorder's counts into r (same SLO assumed).
+func (r *LatencyRecorder) Merge(o *LatencyRecorder) {
+	if o == nil {
+		return
+	}
+	if r.hist.counts == nil && o.hist.counts != nil {
+		r.hist.counts = make([]uint64, histBuckets)
+	}
+	for i, c := range o.hist.counts {
+		r.hist.counts[i] += c
+	}
+	r.hist.total += o.hist.total
+	r.served += o.served
+	r.dropped += o.dropped
+	r.coldCount += o.coldCount
+	r.violations += o.violations
+	r.sumTotal += o.sumTotal
+	r.sumCold += o.sumCold
+	r.sumQueue += o.sumQueue
+	r.sumExec += o.sumExec
+}
+
+// ResourceIntegrator tracks time-weighted resource occupation: call
+// Update whenever the allocated amount changes, then read resource-time
+// integrals. It powers "RPS per unit of resource" (Figure 12/18) and
+// provisioning-over-time curves (Figure 14).
+type ResourceIntegrator struct {
+	last    time.Duration
+	current perf.Resources
+	cpuSecs float64
+	gpuSecs float64
+	started bool
+}
+
+// Update advances the integrator to virtual time now with the allocation
+// that held *since the previous update*, then records the new allocation.
+func (ri *ResourceIntegrator) Update(now time.Duration, allocated perf.Resources) {
+	if ri.started {
+		dt := (now - ri.last).Seconds()
+		if dt > 0 {
+			ri.cpuSecs += float64(ri.current.CPU) * dt
+			ri.gpuSecs += float64(ri.current.GPU) * dt
+		}
+	}
+	ri.last = now
+	ri.current = allocated
+	ri.started = true
+}
+
+// Finish integrates up to end without changing the current allocation.
+func (ri *ResourceIntegrator) Finish(end time.Duration) {
+	ri.Update(end, ri.current)
+}
+
+// CPUCoreSeconds returns integrated CPU occupation.
+func (ri *ResourceIntegrator) CPUCoreSeconds() float64 { return ri.cpuSecs }
+
+// GPUUnitSeconds returns integrated GPU occupation.
+func (ri *ResourceIntegrator) GPUUnitSeconds() float64 { return ri.gpuSecs }
+
+// WeightedSeconds returns the beta-weighted resource-time integral, the
+// denominator of the paper's throughput-per-resource metric.
+func (ri *ResourceIntegrator) WeightedSeconds() float64 {
+	return perf.Beta*ri.cpuSecs + ri.gpuSecs
+}
+
+// ThroughputPerResource computes the paper's normalized throughput: served
+// requests divided by the beta-weighted resource-seconds they occupied.
+func ThroughputPerResource(served uint64, ri *ResourceIntegrator) float64 {
+	w := ri.WeightedSeconds()
+	if w <= 0 {
+		return 0
+	}
+	return float64(served) / w
+}

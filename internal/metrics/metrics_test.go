@@ -1,0 +1,168 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/tanklab/infless/internal/perf"
+)
+
+func TestSampleTotal(t *testing.T) {
+	s := Sample{Cold: time.Second, Queue: 2 * time.Second, Exec: 3 * time.Second}
+	if s.Total() != 6*time.Second {
+		t.Fatalf("total = %v", s.Total())
+	}
+}
+
+func TestRecorderBasics(t *testing.T) {
+	r := NewLatencyRecorder(200 * time.Millisecond)
+	r.Observe(Sample{Queue: 50 * time.Millisecond, Exec: 100 * time.Millisecond}) // 150ms ok
+	r.Observe(Sample{Cold: time.Second, Exec: 100 * time.Millisecond})            // violation + cold
+	r.Drop()
+	if r.Served() != 2 || r.Dropped() != 1 {
+		t.Fatalf("served/dropped = %d/%d", r.Served(), r.Dropped())
+	}
+	if got := r.ViolationRate(); math.Abs(got-2.0/3.0) > 1e-9 {
+		t.Fatalf("violation rate = %v, want 2/3", got)
+	}
+	if got := r.ColdRate(); got != 0.5 {
+		t.Fatalf("cold rate = %v", got)
+	}
+	cold, queue, exec := r.Breakdown()
+	if cold != 500*time.Millisecond || queue != 25*time.Millisecond || exec != 100*time.Millisecond {
+		t.Fatalf("breakdown = %v %v %v", cold, queue, exec)
+	}
+	if r.SLO() != 200*time.Millisecond {
+		t.Fatal("slo accessor")
+	}
+}
+
+func TestRecorderEmpty(t *testing.T) {
+	r := NewLatencyRecorder(time.Second)
+	if r.Mean() != 0 || r.Percentile(0.99) != 0 || r.ViolationRate() != 0 || r.ColdRate() != 0 {
+		t.Fatal("empty recorder should return zeros")
+	}
+	c, q, e := r.Breakdown()
+	if c != 0 || q != 0 || e != 0 {
+		t.Fatal("empty breakdown should be zero")
+	}
+}
+
+func TestPercentileAccuracy(t *testing.T) {
+	r := NewLatencyRecorder(0)
+	// 1..1000 ms uniform.
+	for i := 1; i <= 1000; i++ {
+		r.Observe(Sample{Exec: time.Duration(i) * time.Millisecond})
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		want := float64(q * 1000)
+		got := r.Percentile(q).Seconds() * 1000
+		if math.Abs(got-want)/want > 0.08 {
+			t.Errorf("p%.0f = %.1fms, want ~%.0fms", q*100, got, want)
+		}
+	}
+}
+
+func TestPercentileMonotoneProperty(t *testing.T) {
+	r := NewLatencyRecorder(0)
+	for i := 1; i < 500; i++ {
+		r.Observe(Sample{Exec: time.Duration(i*i) * time.Microsecond})
+	}
+	f := func(a, b uint8) bool {
+		qa := float64(a) / 255
+		qb := float64(b) / 255
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return r.Percentile(qa) <= r.Percentile(qb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDropsCountAsViolations(t *testing.T) {
+	r := NewLatencyRecorder(time.Second)
+	for i := 0; i < 9; i++ {
+		r.Observe(Sample{Exec: time.Millisecond})
+	}
+	r.Drop()
+	if got := r.ViolationRate(); got != 0.1 {
+		t.Fatalf("violation rate with drop = %v, want 0.1", got)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := NewLatencyRecorder(time.Second)
+	b := NewLatencyRecorder(time.Second)
+	a.Observe(Sample{Exec: 100 * time.Millisecond})
+	b.Observe(Sample{Exec: 2 * time.Second})
+	b.Drop()
+	a.Merge(b)
+	if a.Served() != 2 || a.Dropped() != 1 {
+		t.Fatalf("merged served/dropped = %d/%d", a.Served(), a.Dropped())
+	}
+	if got := a.ViolationRate(); math.Abs(got-2.0/3.0) > 1e-9 {
+		t.Fatalf("merged violation rate = %v", got)
+	}
+	a.Merge(nil) // no-op
+	if a.Served() != 2 {
+		t.Fatal("nil merge changed state")
+	}
+}
+
+func TestBucketBoundaries(t *testing.T) {
+	// Tiny and huge values must not panic and must land in range.
+	r := NewLatencyRecorder(0)
+	r.Observe(Sample{Exec: time.Nanosecond})
+	r.Observe(Sample{Exec: 24 * time.Hour})
+	if p := r.Percentile(1.0); p < time.Hour {
+		t.Fatalf("max percentile = %v, want clamped to top bucket", p)
+	}
+	if p := r.Percentile(0.01); p > time.Millisecond {
+		t.Fatalf("min percentile = %v", p)
+	}
+}
+
+func TestResourceIntegrator(t *testing.T) {
+	var ri ResourceIntegrator
+	ri.Update(0, perf.Resources{CPU: 4, GPU: 2})
+	ri.Update(10*time.Second, perf.Resources{CPU: 8, GPU: 0})
+	ri.Finish(20 * time.Second)
+	if got := ri.CPUCoreSeconds(); got != 4*10+8*10 {
+		t.Fatalf("cpu-seconds = %v", got)
+	}
+	if got := ri.GPUUnitSeconds(); got != 2*10 {
+		t.Fatalf("gpu-seconds = %v", got)
+	}
+	want := perf.Beta*120 + 20
+	if got := ri.WeightedSeconds(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("weighted = %v, want %v", got, want)
+	}
+}
+
+func TestResourceIntegratorOutOfOrderIgnored(t *testing.T) {
+	var ri ResourceIntegrator
+	ri.Update(10*time.Second, perf.Resources{CPU: 1})
+	ri.Update(5*time.Second, perf.Resources{CPU: 2}) // no negative dt credit
+	ri.Finish(15 * time.Second)
+	if ri.CPUCoreSeconds() != 2*10 {
+		t.Fatalf("cpu-seconds = %v, want 20", ri.CPUCoreSeconds())
+	}
+}
+
+func TestThroughputPerResource(t *testing.T) {
+	var ri ResourceIntegrator
+	ri.Update(0, perf.Resources{GPU: 10})
+	ri.Finish(100 * time.Second)
+	got := ThroughputPerResource(5000, &ri)
+	if got != 5.0 {
+		t.Fatalf("throughput/resource = %v, want 5", got)
+	}
+	var empty ResourceIntegrator
+	if ThroughputPerResource(100, &empty) != 0 {
+		t.Fatal("empty integrator should yield 0")
+	}
+}

@@ -1,0 +1,379 @@
+package model
+
+// zoo.go holds the Table 1 model zoo. Parameter counts and GFLOPs follow
+// the paper's Table 1; DAG shapes are synthetic but reproduce the
+// operator statistics the paper reports (Figure 7): LSTM-2365 has 27
+// distinct operators with MatMul called 81 times and (Fused)MatMul
+// dominating execution time; ResNet-50 has 8 distinct operators with
+// Conv2D taking >95% of execution time.
+
+import "sync"
+
+var (
+	zooOnce sync.Once
+	zoo     map[string]*Model
+	zooList []*Model
+)
+
+// Get returns the named model from the zoo, or nil if unknown.
+func Get(name string) *Model {
+	zooOnce.Do(initZoo)
+	return zoo[name]
+}
+
+// MustGet returns the named model, panicking if it is not in the zoo.
+func MustGet(name string) *Model {
+	m := Get(name)
+	if m == nil {
+		panic("model: unknown model " + name)
+	}
+	return m
+}
+
+// All returns every zoo model in Table 1 order (largest first), followed
+// by the two auxiliary models used in the paper's text (ResNet-20,
+// DSSM-2365).
+func All() []*Model {
+	zooOnce.Do(initZoo)
+	out := make([]*Model, len(zooList))
+	copy(out, zooList)
+	return out
+}
+
+// Table1 returns only the 11 models listed in the paper's Table 1.
+func Table1() []*Model {
+	all := All()
+	return all[:11]
+}
+
+func initZoo() {
+	zooList = []*Model{
+		bertV1(),
+		vggNet19(),
+		faceNet(),
+		lstm2365(),
+		resNet("ResNet-50", 16, 36e6, 1.55, "Image classification"),
+		ssd(),
+		dssm("DSSM-2389", 25e6, 0.13),
+		deepSpeech(),
+		mobileNet(),
+		textCNN69(),
+		mnist(),
+		// Auxiliary models referenced in the paper's text and figures.
+		resNet("ResNet-20", 9, 0.27e6, 0.08, "Image classification (CIFAR)"),
+		dssm("DSSM-2365", 23e6, 0.12),
+	}
+	zoo = make(map[string]*Model, len(zooList))
+	for _, m := range zooList {
+		zoo[m.Name] = m
+	}
+}
+
+// convBlock is Conv2D -> BatchNorm -> Relu, the workhorse of CNNs.
+func convBlock(convFlops float64) *Node {
+	return SeqOf(
+		NewOp("Conv2D", convFlops),
+		NewOp("BatchNorm", convFlops*0.004),
+		NewOp("Relu", convFlops*0.002),
+	)
+}
+
+// resNet builds a residual network with the given number of residual
+// blocks. Conv2D dominates (>95% of both work and time), and the model
+// uses exactly 8 distinct operator classes, matching Figure 7(b).
+func resNet(name string, blocks int, params, gflops float64, desc string) *Model {
+	per := 1.0 / float64(blocks)
+	stem := SeqOf(
+		NewOp("Conv2D", per*2),
+		NewOp("BatchNorm", per*0.008),
+		NewOp("Relu", per*0.004),
+		NewOp("MaxPool", per*0.01),
+	)
+	nodes := []*Node{stem}
+	for i := 0; i < blocks; i++ {
+		// Residual block: main path of two conv blocks in parallel with a
+		// 1x1 projection shortcut, joined by Add.
+		main := SeqOf(convBlock(per), convBlock(per))
+		short := NewOp("Conv2D", per*0.08)
+		nodes = append(nodes, SeqOf(ParOf(main, short), NewOp("Add", per*0.002)))
+	}
+	nodes = append(nodes,
+		NewOp("AvgPool", per*0.01),
+		NewOp("MatMul", per*0.5), // classifier head
+		NewOp("Softmax", per*0.005),
+	)
+	return build(&Model{
+		Name:     name,
+		Params:   int64(params),
+		GFLOPs:   gflops,
+		MemoryMB: MemoryEstimateMB(int64(params)),
+		Desc:     desc,
+		Root:     SeqOf(nodes...),
+	})
+}
+
+// bertV1 is a 12-layer transformer encoder (391M params, 22.2 GFLOPs).
+func bertV1() *Model {
+	var layers []*Node
+	layers = append(layers, NewOp("Embedding", 0.05), NewOp("LayerNorm", 0.01))
+	for i := 0; i < 12; i++ {
+		attn := SeqOf(
+			NewOp("FusedMatMul", 0.30), // QKV projection
+			NewOp("Attention", 0.25),
+			NewOp("Softmax", 0.01),
+			NewOp("GEMMBatched", 0.20), // attention x V
+			NewOp("MatMul", 0.15),      // output projection
+		)
+		ffn := SeqOf(
+			NewOp("FusedMatMul", 0.45),
+			NewOp("GELU", 0.01),
+			NewOp("MatMul", 0.45),
+		)
+		layers = append(layers,
+			SeqOf(attn, NewOp("Add", 0.005), NewOp("LayerNorm", 0.008)),
+			SeqOf(ffn, NewOp("Add", 0.005), NewOp("LayerNorm", 0.008)),
+		)
+	}
+	layers = append(layers, NewOp("MatMul", 0.2), NewOp("Softmax", 0.01))
+	return build(&Model{
+		Name: "Bert-v1", Params: 391e6, GFLOPs: 22.2,
+		MemoryMB: MemoryEstimateMB(391e6),
+		Desc:     "Language processing",
+		Root:     SeqOf(layers...),
+	})
+}
+
+// vggNet19: deep plain CNN, conv chains + pools + large FC layers.
+func vggNet19() *Model {
+	var nodes []*Node
+	convs := []int{2, 2, 4, 4, 4} // VGG-19 stage layout
+	for s, n := range convs {
+		for i := 0; i < n; i++ {
+			nodes = append(nodes, convBlock(1.0+float64(s)*0.2))
+		}
+		nodes = append(nodes, NewOp("MaxPool", 0.01))
+	}
+	nodes = append(nodes,
+		NewOp("MatMul", 2.2), NewOp("Relu", 0.01),
+		NewOp("MatMul", 0.9), NewOp("Relu", 0.005),
+		NewOp("MatMul", 0.2), NewOp("Softmax", 0.005),
+	)
+	return build(&Model{
+		Name: "VGGNet-19", Params: 98e6, GFLOPs: 3.89,
+		MemoryMB: MemoryEstimateMB(98e6),
+		Desc:     "Image classification",
+		Root:     SeqOf(nodes...),
+	})
+}
+
+// faceNet: inception-style feature localisation network with parallel
+// mixed branches.
+func faceNet() *Model {
+	var nodes []*Node
+	nodes = append(nodes, convBlock(1.5), NewOp("MaxPool", 0.01), NewOp("LRN", 0.02))
+	for i := 0; i < 6; i++ {
+		// Inception block: four parallel towers concatenated.
+		nodes = append(nodes, SeqOf(
+			ParOf(
+				NewOp("Conv2D", 0.35),
+				SeqOf(NewOp("Conv2D", 0.10), NewOp("Conv2D", 0.45)),
+				SeqOf(NewOp("Conv2D", 0.05), NewOp("Conv2D", 0.25)),
+				SeqOf(NewOp("MaxPool", 0.005), NewOp("Conv2D", 0.08)),
+			),
+			NewOp("ConcatV2", 0.01),
+		))
+	}
+	nodes = append(nodes, NewOp("AvgPool", 0.01), NewOp("MatMul", 0.4))
+	return build(&Model{
+		Name: "FaceNet", Params: 69e6, GFLOPs: 5.55,
+		MemoryMB: MemoryEstimateMB(69e6),
+		Desc:     "Feature localisation",
+		Root:     SeqOf(nodes...),
+	})
+}
+
+// lstm2365 reproduces Figure 7(a): 27 distinct operator classes, MatMul
+// called 81 times, FusedMatMul + MatMul dominating execution time (~76%),
+// ConcatV2/Mul small, Sum appearing exactly once.
+func lstm2365() *Model {
+	var nodes []*Node
+	nodes = append(nodes,
+		NewOp("Embedding", 0.8), NewOp("Gather", 0.1), NewOp("Reshape", 0.01),
+	)
+	// 27 recurrent steps, each with 3 MatMul gates plus FusedMatMul and
+	// small elementwise ops: 27*3 = 81 MatMul calls.
+	for i := 0; i < 27; i++ {
+		step := SeqOf(
+			NewOp("MatMul", 1.9),
+			NewOp("MatMul", 1.9),
+			NewOp("MatMul", 1.9),
+			NewOp("FusedMatMul", 2.6),
+			NewOp("Sigmoid", 0.02),
+			NewOp("Tanh", 0.02),
+			NewOp("Mul", 0.02),
+			NewOp("Add", 0.02),
+		)
+		nodes = append(nodes, step)
+	}
+	// Attention/readout tail with the remaining distinct op classes.
+	tail := SeqOf(
+		ParOf(
+			SeqOf(NewOp("Transpose", 0.05), NewOp("GEMMBatched", 1.2), NewOp("Softmax", 0.05)),
+			SeqOf(NewOp("Slice", 0.02), NewOp("Mean", 0.02)),
+		),
+		NewOp("ConcatV2", 0.08),
+		NewOp("Attention", 0.9),
+		NewOp("LayerNorm", 0.05),
+		NewOp("BatchNorm", 0.02),
+		NewOp("Split", 0.02),
+		NewOp("Pad", 0.01),
+		NewOp("Conv1D", 0.3),
+		NewOp("Relu", 0.02),
+		NewOp("MaxPool", 0.01),
+		NewOp("LSTMCell", 0.8),
+		NewOp("GRUCell", 0.4),
+		NewOp("TopK", 0.05),
+		NewOp("Sum", 0.02), // appears exactly once (paper calls this out)
+	)
+	nodes = append(nodes, tail)
+	return build(&Model{
+		Name: "LSTM-2365", Params: 39e6, GFLOPs: 0.10,
+		MemoryMB: MemoryEstimateMB(39e6),
+		Desc:     "Text Q&A system",
+		Root:     SeqOf(nodes...),
+	})
+}
+
+// ssd: multi-scale object detector; conv backbone plus parallel detection
+// heads and a serial NMS stage.
+func ssd() *Model {
+	backbone := []*Node{}
+	for i := 0; i < 10; i++ {
+		backbone = append(backbone, convBlock(1.2))
+	}
+	heads := ParOf(
+		SeqOf(NewOp("Conv2D", 0.5), NewOp("Reshape", 0.001)),
+		SeqOf(NewOp("Conv2D", 0.35), NewOp("Reshape", 0.001)),
+		SeqOf(NewOp("Conv2D", 0.22), NewOp("Reshape", 0.001)),
+		SeqOf(NewOp("Conv2D", 0.12), NewOp("Reshape", 0.001)),
+	)
+	root := SeqOf(append(backbone,
+		heads,
+		NewOp("ConcatV2", 0.02),
+		NewOp("Softmax", 0.02),
+		NewOp("NonMaxSuppression", 0.15),
+	)...)
+	return build(&Model{
+		Name: "SSD", Params: 29e6, GFLOPs: 2.02,
+		MemoryMB: MemoryEstimateMB(29e6),
+		Desc:     "Object detection",
+		Root:     root,
+	})
+}
+
+// dssm: twin-tower semantic matcher (query/doc towers run in parallel).
+func dssm(name string, params, gflops float64) *Model {
+	tower := func() *Node {
+		return SeqOf(
+			NewOp("Embedding", 0.3),
+			NewOp("MatMul", 1.0), NewOp("Tanh", 0.01),
+			NewOp("MatMul", 0.6), NewOp("Tanh", 0.01),
+			NewOp("MatMul", 0.3), NewOp("Tanh", 0.01),
+		)
+	}
+	root := SeqOf(
+		ParOf(tower(), tower()),
+		NewOp("Mul", 0.02),
+		NewOp("Sum", 0.01),
+		NewOp("Sigmoid", 0.005),
+	)
+	return build(&Model{
+		Name: name, Params: int64(params), GFLOPs: gflops,
+		MemoryMB: MemoryEstimateMB(int64(params)),
+		Desc:     "Text Q&A system",
+		Root:     root,
+	})
+}
+
+// deepSpeech: conv front-end + recurrent stack + CTC decode.
+func deepSpeech() *Model {
+	var nodes []*Node
+	nodes = append(nodes,
+		NewOp("Conv1D", 0.8), NewOp("BatchNorm", 0.01), NewOp("Relu", 0.005),
+		NewOp("Conv1D", 0.6), NewOp("BatchNorm", 0.01), NewOp("Relu", 0.005),
+	)
+	for i := 0; i < 5; i++ {
+		nodes = append(nodes, SeqOf(
+			NewOp("LSTMCell", 1.4),
+			NewOp("Add", 0.01),
+		))
+	}
+	nodes = append(nodes, NewOp("MatMul", 0.5), NewOp("Softmax", 0.02), NewOp("CTCDecode", 0.3))
+	return build(&Model{
+		Name: "DeepSpeech", Params: 17e6, GFLOPs: 1.60,
+		MemoryMB: MemoryEstimateMB(17e6),
+		Desc:     "Speech recognition",
+		Root:     SeqOf(nodes...),
+	})
+}
+
+// mobileNet: depthwise-separable convolutions.
+func mobileNet() *Model {
+	var nodes []*Node
+	nodes = append(nodes, convBlock(0.6))
+	for i := 0; i < 13; i++ {
+		nodes = append(nodes, SeqOf(
+			NewOp("DepthwiseConv2D", 0.12),
+			NewOp("BatchNorm", 0.004),
+			NewOp("Relu", 0.002),
+			NewOp("Conv2D", 0.55), // pointwise
+			NewOp("BatchNorm", 0.004),
+			NewOp("Relu", 0.002),
+		))
+	}
+	nodes = append(nodes, NewOp("AvgPool", 0.005), NewOp("MatMul", 0.2), NewOp("Softmax", 0.004))
+	return build(&Model{
+		Name: "MobileNet", Params: 17e6, GFLOPs: 0.05,
+		MemoryMB: MemoryEstimateMB(17e6),
+		Desc:     "Mobile network",
+		Root:     SeqOf(nodes...),
+	})
+}
+
+// textCNN69: embedding + parallel conv branches (kernel sizes 3/4/5) +
+// concat + classifier, the classic TextCNN topology.
+func textCNN69() *Model {
+	root := SeqOf(
+		NewOp("Embedding", 0.4),
+		ParOf(
+			SeqOf(NewOp("Conv1D", 1.0), NewOp("Relu", 0.01), NewOp("MaxPool", 0.01)),
+			SeqOf(NewOp("Conv1D", 1.2), NewOp("Relu", 0.01), NewOp("MaxPool", 0.01)),
+			SeqOf(NewOp("Conv1D", 1.4), NewOp("Relu", 0.01), NewOp("MaxPool", 0.01)),
+		),
+		NewOp("ConcatV2", 0.02),
+		NewOp("MatMul", 0.5),
+		NewOp("Softmax", 0.01),
+	)
+	return build(&Model{
+		Name: "TextCNN-69", Params: 11e6, GFLOPs: 0.53,
+		MemoryMB: MemoryEstimateMB(11e6),
+		Desc:     "Text classification",
+		Root:     root,
+	})
+}
+
+// mnist: tiny MLP (72k params, 0.01 GFLOPs).
+func mnist() *Model {
+	root := SeqOf(
+		NewOp("Reshape", 0.001),
+		NewOp("MatMul", 0.7), NewOp("Relu", 0.01),
+		NewOp("MatMul", 0.25), NewOp("Relu", 0.005),
+		NewOp("MatMul", 0.05), NewOp("Softmax", 0.002),
+	)
+	return build(&Model{
+		Name: "MNIST", Params: 72e3, GFLOPs: 0.01,
+		MemoryMB: MemoryEstimateMB(72e3),
+		Desc:     "Number recognition",
+		Root:     root,
+	})
+}

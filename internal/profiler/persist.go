@@ -1,0 +1,101 @@
+package profiler
+
+// persist.go serializes the operator profile database. The paper's
+// implementation keeps a "register repository" storing function profiles
+// and instance configurations (Section 4); persisting the operator
+// profiles lets a platform restart skip the offline micro-benchmarks.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// dbJSON is the serialized form of a DB.
+type dbJSON struct {
+	Version  int         `json:"version"`
+	Batches  []int       `json:"batches"`
+	CPUGrid  []int       `json:"cpuGrid"`
+	GPUGrid  []int       `json:"gpuGrid"`
+	WorkGrid []float64   `json:"workGrid"`
+	Entries  []entryJSON `json:"entries"`
+}
+
+type entryJSON struct {
+	Class   string  `json:"class"`
+	B       int     `json:"b"`
+	CPU     int     `json:"cpu"`
+	GPU     int     `json:"gpu"`
+	TimesNs []int64 `json:"timesNs"`
+}
+
+const dbVersion = 1
+
+// Save writes the profile database as JSON.
+func (db *DB) Save(w io.Writer) error {
+	out := dbJSON{
+		Version:  dbVersion,
+		Batches:  db.batches,
+		CPUGrid:  db.cpus,
+		GPUGrid:  db.gpus,
+		WorkGrid: WorkGrid,
+	}
+	for key, e := range db.entries {
+		times := make([]int64, len(e.Times))
+		for i, t := range e.Times {
+			times[i] = int64(t)
+		}
+		out.Entries = append(out.Entries, entryJSON{
+			Class: key.Class, B: key.B, CPU: key.CPU, GPU: key.GPU, TimesNs: times,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// Load reads a profile database previously written by Save.
+func Load(r io.Reader) (*DB, error) {
+	var in dbJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("profiler: decode: %w", err)
+	}
+	if in.Version != dbVersion {
+		return nil, fmt.Errorf("profiler: unsupported profile version %d", in.Version)
+	}
+	if len(in.WorkGrid) != len(WorkGrid) {
+		return nil, fmt.Errorf("profiler: work grid mismatch (%d points, want %d)", len(in.WorkGrid), len(WorkGrid))
+	}
+	for i, w := range in.WorkGrid {
+		if w != WorkGrid[i] {
+			return nil, fmt.Errorf("profiler: work grid point %d = %v, want %v", i, w, WorkGrid[i])
+		}
+	}
+	if len(in.Batches) == 0 || len(in.CPUGrid) == 0 || len(in.GPUGrid) == 0 {
+		return nil, fmt.Errorf("profiler: empty grids")
+	}
+	db := &DB{
+		entries: make(map[Key]Entry, len(in.Entries)),
+		batches: in.Batches,
+		cpus:    in.CPUGrid,
+		gpus:    in.GPUGrid,
+	}
+	for _, e := range in.Entries {
+		if len(e.TimesNs) != len(WorkGrid) {
+			return nil, fmt.Errorf("profiler: entry %s/%d/%d/%d has %d samples, want %d",
+				e.Class, e.B, e.CPU, e.GPU, len(e.TimesNs), len(WorkGrid))
+		}
+		times := make([]time.Duration, len(e.TimesNs))
+		for i, t := range e.TimesNs {
+			if t < 0 {
+				return nil, fmt.Errorf("profiler: negative sample in %s", e.Class)
+			}
+			times[i] = time.Duration(t)
+		}
+		db.entries[Key{e.Class, e.B, e.CPU, e.GPU}] = Entry{Times: times}
+	}
+	if len(db.entries) == 0 {
+		return nil, fmt.Errorf("profiler: no entries")
+	}
+	return db, nil
+}

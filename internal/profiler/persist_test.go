@@ -1,0 +1,54 @@
+package profiler
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/tanklab/infless/internal/model"
+	"github.com/tanklab/infless/internal/perf"
+)
+
+func TestDBSaveLoadRoundTrip(t *testing.T) {
+	opts := DefaultDBOptions()
+	opts.NoiseSD = 0
+	db := NewDB(opts)
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Size() != db.Size() {
+		t.Fatalf("size %d != %d", loaded.Size(), db.Size())
+	}
+	// Predictions through the loaded DB must be identical.
+	m := model.MustGet("ResNet-50")
+	p1 := (&Predictor{DB: db}).Raw(m, 8, perf.Resources{GPU: 2})
+	p2 := (&Predictor{DB: loaded}).Raw(m, 8, perf.Resources{GPU: 2})
+	if p1 != p2 {
+		t.Fatalf("prediction changed across save/load: %v vs %v", p1, p2)
+	}
+	if got := loaded.Batches(); len(got) != len(db.Batches()) {
+		t.Fatal("grids not preserved")
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	cases := map[string]string{
+		"not json":     "hello",
+		"bad version":  `{"version":99,"batches":[1],"cpuGrid":[0,1],"gpuGrid":[0,1],"workGrid":[],"entries":[]}`,
+		"empty grids":  `{"version":1,"batches":[],"cpuGrid":[],"gpuGrid":[],"workGrid":[0.0001,0.0004,0.0016,0.0064,0.0256,0.1,0.4,1.6,6.4,25.6],"entries":[]}`,
+		"no entries":   `{"version":1,"batches":[1],"cpuGrid":[0,1],"gpuGrid":[0,1],"workGrid":[0.0001,0.0004,0.0016,0.0064,0.0256,0.1,0.4,1.6,6.4,25.6],"entries":[]}`,
+		"short sample": `{"version":1,"batches":[1],"cpuGrid":[0,1],"gpuGrid":[0,1],"workGrid":[0.0001,0.0004,0.0016,0.0064,0.0256,0.1,0.4,1.6,6.4,25.6],"entries":[{"class":"MatMul","b":1,"cpu":1,"gpu":0,"timesNs":[1,2]}]}`,
+		"neg sample":   `{"version":1,"batches":[1],"cpuGrid":[0,1],"gpuGrid":[0,1],"workGrid":[0.0001,0.0004,0.0016,0.0064,0.0256,0.1,0.4,1.6,6.4,25.6],"entries":[{"class":"MatMul","b":1,"cpu":1,"gpu":0,"timesNs":[-1,2,3,4,5,6,7,8,9,10]}]}`,
+		"grid values":  `{"version":1,"batches":[1],"cpuGrid":[0,1],"gpuGrid":[0,1],"workGrid":[1,2,3,4,5,6,7,8,9,10],"entries":[]}`,
+	}
+	for name, src := range cases {
+		if _, err := Load(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: corrupt profile accepted", name)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package sim_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/tanklab/infless/internal/cluster"
+	"github.com/tanklab/infless/internal/core"
+	"github.com/tanklab/infless/internal/model"
+	"github.com/tanklab/infless/internal/sim"
+	"github.com/tanklab/infless/internal/workload"
+)
+
+// A permanent single-server outage: INFless must re-schedule the lost
+// capacity onto the surviving servers and keep serving.
+func TestFailoverReschedules(t *testing.T) {
+	dur := 4 * time.Minute
+	e := sim.New(core.New(core.Options{}), sim.Config{
+		Cluster:  cluster.Testbed(),
+		Duration: dur,
+		Seed:     6,
+		Failures: []sim.ServerFailure{{Server: 0, At: 2 * time.Minute}},
+	})
+	f := e.AddFunction(sim.FunctionSpec{
+		Name:  "resnet",
+		Model: model.MustGet("ResNet-50"),
+		SLO:   200 * time.Millisecond,
+		Trace: workload.Constant(300, dur, time.Minute),
+	})
+	res := e.Run()
+
+	// The outage costs at most a few seconds of capacity: overall served
+	// must stay near the offered total.
+	offered := 300.0 * dur.Seconds()
+	if float64(res.Served()) < offered*0.95 {
+		t.Fatalf("served %d of ~%.0f after failover", res.Served(), offered)
+	}
+	// No instance may remain on the failed server.
+	for _, inst := range f.Instances {
+		if inst.Server == 0 {
+			t.Fatalf("instance still on failed server 0")
+		}
+	}
+	// The failed server must hold no allocations.
+	if got := e.Cluster().Server(0).Allocated(); !got.IsZero() {
+		t.Fatalf("failed server still allocated: %v", got)
+	}
+}
+
+// A transient outage: the server recovers and becomes schedulable again.
+func TestFailureRecovery(t *testing.T) {
+	dur := 3 * time.Minute
+	// A single-server cluster: while it is down, everything drops; after
+	// recovery, service resumes.
+	e := sim.New(core.New(core.Options{}), sim.Config{
+		Cluster:  cluster.New(cluster.Options{Servers: 1}),
+		Duration: dur,
+		Seed:     6,
+		Failures: []sim.ServerFailure{{Server: 0, At: time.Minute, Duration: 30 * time.Second}},
+	})
+	e.AddFunction(sim.FunctionSpec{
+		Name:  "mnist",
+		Model: model.MustGet("MNIST"),
+		SLO:   500 * time.Millisecond,
+		Trace: workload.Constant(50, dur, time.Minute),
+	})
+	res := e.Run()
+	if res.Dropped() == 0 {
+		t.Fatal("outage produced no drops")
+	}
+	// Service resumed: most of the non-outage traffic was served.
+	if float64(res.Served()) < 50*dur.Seconds()*0.6 {
+		t.Fatalf("served only %d; recovery did not happen", res.Served())
+	}
+}
+
+// Mid-batch failure: requests executing on the failed server are lost and
+// counted as drops, never as completions.
+func TestFailureKillsInFlightBatch(t *testing.T) {
+	dur := 90 * time.Second
+	e := sim.New(core.New(core.Options{}), sim.Config{
+		Cluster:  cluster.New(cluster.Options{Servers: 2}),
+		Duration: dur,
+		Seed:     7,
+		Failures: []sim.ServerFailure{{Server: 0, At: 45 * time.Second}},
+	})
+	e.AddFunction(sim.FunctionSpec{
+		Name:  "bert", // long executions maximize the in-flight window
+		Model: model.MustGet("Bert-v1"),
+		SLO:   2 * time.Second,
+		Trace: workload.Constant(20, dur, time.Minute),
+	})
+	res := e.Run()
+	if res.Served() == 0 {
+		t.Fatal("nothing served at all")
+	}
+	if res.Dropped() == 0 {
+		t.Fatal("killing a busy server should drop its in-flight work")
+	}
+}
+
+func TestFailureAccountingConserves(t *testing.T) {
+	// Conservation: served + dropped <= offered (no double counting).
+	dur := 2 * time.Minute
+	e := sim.New(core.New(core.Options{}), sim.Config{
+		Cluster:  cluster.Testbed(),
+		Duration: dur,
+		Seed:     8,
+		Failures: []sim.ServerFailure{
+			{Server: 0, At: 30 * time.Second, Duration: 20 * time.Second},
+			{Server: 1, At: time.Minute},
+		},
+	})
+	e.AddFunction(sim.FunctionSpec{
+		Name:  "ssd",
+		Model: model.MustGet("SSD"),
+		SLO:   300 * time.Millisecond,
+		Trace: workload.Constant(200, dur, time.Minute),
+	})
+	res := e.Run()
+	total := res.Served() + res.Dropped()
+	offeredMax := uint64(200*dur.Seconds()) + 2000 // Poisson slack
+	if total > offeredMax {
+		t.Fatalf("served+dropped = %d exceeds offered ~%d", total, offeredMax)
+	}
+}

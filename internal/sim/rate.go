@@ -1,0 +1,53 @@
+package sim
+
+import "time"
+
+// rateEstimator measures arrival rate with per-second ring buckets over a
+// sliding window, O(1) per observation regardless of request volume.
+type rateEstimator struct {
+	window  time.Duration
+	buckets []uint64
+	stamps  []int64 // which absolute second each bucket currently holds
+}
+
+func newRateEstimator(window time.Duration) *rateEstimator {
+	n := int(window / time.Second)
+	if n < 1 {
+		n = 1
+	}
+	re := &rateEstimator{window: window, buckets: make([]uint64, n), stamps: make([]int64, n)}
+	for i := range re.stamps {
+		re.stamps[i] = -1
+	}
+	return re
+}
+
+func (re *rateEstimator) observe(now time.Duration) {
+	sec := int64(now / time.Second)
+	i := int(sec % int64(len(re.buckets)))
+	if re.stamps[i] != sec {
+		re.stamps[i] = sec
+		re.buckets[i] = 0
+	}
+	re.buckets[i]++
+}
+
+// estimate returns the mean arrival rate over the window ending at now.
+func (re *rateEstimator) estimate(now time.Duration) float64 {
+	sec := int64(now / time.Second)
+	lo := sec - int64(len(re.buckets)) + 1
+	var total uint64
+	for i := range re.buckets {
+		if re.stamps[i] >= lo && re.stamps[i] <= sec {
+			total += re.buckets[i]
+		}
+	}
+	span := re.window.Seconds()
+	if elapsed := now.Seconds(); elapsed > 0 && elapsed < span {
+		span = elapsed
+	}
+	if span <= 0 {
+		return 0
+	}
+	return float64(total) / span
+}

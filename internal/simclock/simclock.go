@@ -1,0 +1,164 @@
+// Package simclock provides a deterministic virtual clock and event queue
+// for discrete-event simulation.
+//
+// Events are executed in non-decreasing timestamp order; events scheduled
+// for the same instant run in the order they were scheduled (FIFO), which
+// keeps simulations fully deterministic for a given seed and scenario.
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is virtual time measured as an offset from the simulation start.
+type Time = time.Duration
+
+// Event is a scheduled callback. It can be cancelled before it fires.
+type Event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	index    int // heap index, -1 once removed
+	canceled bool
+}
+
+// At returns the virtual time the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// Cancel prevents the event from firing. Cancelling an event that already
+// fired or was already cancelled is a no-op.
+func (e *Event) Cancel() {
+	e.canceled = true
+}
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Clock owns virtual time and the pending event queue.
+// The zero value is ready to use at time 0.
+type Clock struct {
+	now     Time
+	seq     uint64
+	pending eventHeap
+	fired   uint64
+}
+
+// New returns a clock positioned at virtual time 0 with no pending events.
+func New() *Clock { return &Clock{} }
+
+// Now returns the current virtual time.
+func (c *Clock) Now() Time { return c.now }
+
+// Pending returns the number of events waiting to fire (including
+// cancelled events that have not been drained yet).
+func (c *Clock) Pending() int { return len(c.pending) }
+
+// Fired returns the total number of events executed so far.
+func (c *Clock) Fired() uint64 { return c.fired }
+
+// ScheduleAt registers fn to run at virtual time at. Scheduling in the past
+// panics: it indicates a logic error in the simulation, never valid input.
+func (c *Clock) ScheduleAt(at Time, fn func()) *Event {
+	if at < c.now {
+		panic(fmt.Sprintf("simclock: schedule at %v before now %v", at, c.now))
+	}
+	e := &Event{at: at, seq: c.seq, fn: fn}
+	c.seq++
+	heap.Push(&c.pending, e)
+	return e
+}
+
+// ScheduleAfter registers fn to run d after the current virtual time.
+// Negative d is clamped to zero.
+func (c *Clock) ScheduleAfter(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return c.ScheduleAt(c.now+d, fn)
+}
+
+// Step executes the next pending event, advancing virtual time to its
+// timestamp. It returns false when the queue is empty. Cancelled events are
+// skipped (but still advance the clock to their timestamp, which is
+// harmless and keeps Step O(log n)).
+func (c *Clock) Step() bool {
+	for len(c.pending) > 0 {
+		e := heap.Pop(&c.pending).(*Event)
+		if e.canceled {
+			continue
+		}
+		c.now = e.at
+		c.fired++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events with timestamp <= deadline, then advances the
+// clock to the deadline. Events scheduled during execution are honored if
+// they fall within the deadline.
+func (c *Clock) RunUntil(deadline Time) {
+	for len(c.pending) > 0 {
+		e := c.pending[0]
+		if e.at > deadline {
+			break
+		}
+		c.Step()
+	}
+	if c.now < deadline {
+		c.now = deadline
+	}
+}
+
+// Run executes events until the queue is empty or limit events have fired.
+// A limit of 0 means no limit. It returns the number of events fired.
+func (c *Clock) Run(limit uint64) uint64 {
+	var n uint64
+	for c.Step() {
+		n++
+		if limit > 0 && n >= limit {
+			break
+		}
+	}
+	return n
+}
+
+// Reset drops all pending events and rewinds the clock to zero.
+func (c *Clock) Reset() {
+	c.now = 0
+	c.pending = nil
+	c.seq = 0
+	c.fired = 0
+}

@@ -1,0 +1,219 @@
+package simclock
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestZeroValueUsable(t *testing.T) {
+	var c Clock
+	ran := false
+	c.ScheduleAfter(time.Second, func() { ran = true })
+	c.Run(0)
+	if !ran {
+		t.Fatal("event did not fire")
+	}
+	if c.Now() != time.Second {
+		t.Fatalf("now = %v, want 1s", c.Now())
+	}
+}
+
+func TestOrdering(t *testing.T) {
+	c := New()
+	var got []int
+	c.ScheduleAt(3*time.Second, func() { got = append(got, 3) })
+	c.ScheduleAt(1*time.Second, func() { got = append(got, 1) })
+	c.ScheduleAt(2*time.Second, func() { got = append(got, 2) })
+	c.Run(0)
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFIFOAtSameInstant(t *testing.T) {
+	c := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.ScheduleAt(time.Second, func() { got = append(got, i) })
+	}
+	c.Run(0)
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-instant order = %v, want ascending", got)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	c := New()
+	fired := 0
+	e := c.ScheduleAt(time.Second, func() { fired++ })
+	c.ScheduleAt(2*time.Second, func() { fired++ })
+	e.Cancel()
+	if !e.Canceled() {
+		t.Fatal("Canceled() = false after Cancel")
+	}
+	c.Run(0)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1 (cancelled event must not run)", fired)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	c := New()
+	c.ScheduleAt(5*time.Second, func() {})
+	c.Run(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic when scheduling in the past")
+		}
+	}()
+	c.ScheduleAt(time.Second, func() {})
+}
+
+func TestScheduleDuringEvent(t *testing.T) {
+	c := New()
+	var got []time.Duration
+	c.ScheduleAt(time.Second, func() {
+		c.ScheduleAfter(time.Second, func() { got = append(got, c.Now()) })
+		c.ScheduleAfter(0, func() { got = append(got, c.Now()) })
+	})
+	c.Run(0)
+	if len(got) != 2 || got[0] != time.Second || got[1] != 2*time.Second {
+		t.Fatalf("got %v, want [1s 2s]", got)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	c := New()
+	fired := 0
+	c.ScheduleAt(time.Second, func() { fired++ })
+	c.ScheduleAt(3*time.Second, func() { fired++ })
+	c.RunUntil(2 * time.Second)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if c.Now() != 2*time.Second {
+		t.Fatalf("now = %v, want 2s (clock advances to deadline)", c.Now())
+	}
+	c.RunUntil(10 * time.Second)
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	c := New()
+	for i := 0; i < 10; i++ {
+		c.ScheduleAt(time.Duration(i)*time.Second, func() {})
+	}
+	if n := c.Run(4); n != 4 {
+		t.Fatalf("Run(4) = %d", n)
+	}
+	if c.Pending() != 6 {
+		t.Fatalf("pending = %d, want 6", c.Pending())
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New()
+	c.ScheduleAt(time.Second, func() {})
+	c.Run(0)
+	c.Reset()
+	if c.Now() != 0 || c.Pending() != 0 || c.Fired() != 0 {
+		t.Fatal("reset did not clear state")
+	}
+	// Scheduling at t=0 must be legal again.
+	c.ScheduleAt(0, func() {})
+	c.Run(0)
+}
+
+func TestNegativeAfterClamped(t *testing.T) {
+	c := New()
+	c.RunUntil(time.Second)
+	fired := false
+	c.ScheduleAfter(-5*time.Second, func() { fired = true })
+	c.Run(0)
+	if !fired || c.Now() != time.Second {
+		t.Fatal("negative delay should clamp to now")
+	}
+}
+
+// Property: for any set of random timestamps, events fire in sorted order
+// and the clock never moves backwards.
+func TestPropertyMonotoneExecution(t *testing.T) {
+	f := func(stamps []uint16) bool {
+		c := New()
+		var fireOrder []time.Duration
+		for _, s := range stamps {
+			at := time.Duration(s) * time.Millisecond
+			c.ScheduleAt(at, func() { fireOrder = append(fireOrder, c.Now()) })
+		}
+		c.Run(0)
+		if len(fireOrder) != len(stamps) {
+			return false
+		}
+		if !sort.SliceIsSorted(fireOrder, func(i, j int) bool { return fireOrder[i] < fireOrder[j] }) {
+			return false
+		}
+		want := make([]time.Duration, len(stamps))
+		for i, s := range stamps {
+			want[i] = time.Duration(s) * time.Millisecond
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if fireOrder[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelling a random subset leaves exactly the others to fire.
+func TestPropertyCancelSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 100; iter++ {
+		c := New()
+		n := 1 + rng.Intn(50)
+		events := make([]*Event, n)
+		fired := make([]bool, n)
+		for i := 0; i < n; i++ {
+			i := i
+			events[i] = c.ScheduleAt(time.Duration(rng.Intn(1000))*time.Millisecond, func() { fired[i] = true })
+		}
+		cancelled := make([]bool, n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				events[i].Cancel()
+				cancelled[i] = true
+			}
+		}
+		c.Run(0)
+		for i := 0; i < n; i++ {
+			if fired[i] == cancelled[i] {
+				t.Fatalf("iter %d event %d: fired=%v cancelled=%v", iter, i, fired[i], cancelled[i])
+			}
+		}
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	c := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.ScheduleAt(c.Now()+time.Duration(rng.Intn(1000)), func() {})
+		c.Step()
+	}
+}

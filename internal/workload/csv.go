@@ -1,0 +1,99 @@
+package workload
+
+// csv.go reads and writes request-rate traces, so that real production
+// traces (e.g. re-binned Azure Functions data, the paper's dynamic
+// workload source) can drive the simulator in place of the synthetic
+// generators. The format is a two-column CSV:
+//
+//	offset_seconds,rps
+//	0,12.5
+//	60,14.0
+//	...
+//
+// Rows must be equally spaced and ascending; the spacing becomes the
+// trace step.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// WriteCSV serializes the trace.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "offset_seconds,rps"); err != nil {
+		return err
+	}
+	for i, r := range t.RPS {
+		off := time.Duration(i) * t.Step
+		if _, err := fmt.Fprintf(bw, "%d,%g\n", int(off.Seconds()), r); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a trace written by WriteCSV (or hand-authored in the
+// same format).
+func ReadCSV(r io.Reader, name string) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	var (
+		offsets []float64
+		rates   []float64
+	)
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if lineNo == 1 && strings.HasPrefix(strings.ToLower(line), "offset") {
+			continue // header
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("workload: line %d: want offset,rps", lineNo)
+		}
+		off, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: bad offset: %v", lineNo, err)
+		}
+		rate, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: bad rps: %v", lineNo, err)
+		}
+		if rate < 0 {
+			return nil, fmt.Errorf("workload: line %d: negative rate", lineNo)
+		}
+		offsets = append(offsets, off)
+		rates = append(rates, rate)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rates) == 0 {
+		return nil, fmt.Errorf("workload: empty trace")
+	}
+	step := time.Minute
+	if len(offsets) > 1 {
+		d := offsets[1] - offsets[0]
+		if d <= 0 {
+			return nil, fmt.Errorf("workload: offsets must ascend")
+		}
+		for i := 2; i < len(offsets); i++ {
+			if diff := offsets[i] - offsets[i-1]; diff != d {
+				return nil, fmt.Errorf("workload: uneven spacing at row %d (%g vs %g)", i, diff, d)
+			}
+		}
+		step = time.Duration(d * float64(time.Second))
+	}
+	if name == "" {
+		name = "csv"
+	}
+	return &Trace{Name: name, Step: step, RPS: rates}, nil
+}

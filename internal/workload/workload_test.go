@@ -1,0 +1,185 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestConstantTrace(t *testing.T) {
+	tr := Constant(50, time.Hour, time.Minute)
+	if tr.Duration() != time.Hour {
+		t.Fatalf("duration = %v", tr.Duration())
+	}
+	if tr.Mean() != 50 || tr.Peak() != 50 {
+		t.Fatalf("mean/peak = %v/%v", tr.Mean(), tr.Peak())
+	}
+	if tr.RateAt(30*time.Minute) != 50 {
+		t.Fatal("rate lookup wrong")
+	}
+	// Wrap-around.
+	if tr.RateAt(90*time.Minute) != 50 {
+		t.Fatal("wrap-around lookup wrong")
+	}
+}
+
+func TestScale(t *testing.T) {
+	tr := Constant(50, time.Hour, time.Minute).Scale(2)
+	if tr.Mean() != 100 {
+		t.Fatalf("scaled mean = %v", tr.Mean())
+	}
+}
+
+func TestPeriodicHasDiurnalShape(t *testing.T) {
+	tr := Periodic(Options{Seed: 1})
+	if tr.Duration() != 7*24*time.Hour {
+		t.Fatalf("duration = %v", tr.Duration())
+	}
+	// Afternoon rate should clearly exceed pre-dawn rate on every day.
+	for day := 0; day < 7; day++ {
+		base := time.Duration(day) * 24 * time.Hour
+		peak := tr.RateAt(base + 15*time.Hour)
+		trough := tr.RateAt(base + 3*time.Hour)
+		if peak < trough*2 {
+			t.Errorf("day %d: peak %v not >> trough %v", day, peak, trough)
+		}
+	}
+}
+
+func TestBurstyHasBursts(t *testing.T) {
+	base := Periodic(Options{Seed: 2})
+	burst := Bursty(Options{Seed: 2})
+	// Bursty peak should clearly exceed the smooth diurnal peak.
+	if burst.Peak() < base.Peak()*1.5 {
+		t.Errorf("bursty peak %v vs periodic peak %v: no bursts detected", burst.Peak(), base.Peak())
+	}
+}
+
+func TestSporadicMostlyIdle(t *testing.T) {
+	tr := Sporadic(Options{Seed: 3})
+	zero := 0
+	for _, r := range tr.RPS {
+		if r == 0 {
+			zero++
+		}
+	}
+	frac := float64(zero) / float64(len(tr.RPS))
+	if frac < 0.6 {
+		t.Errorf("sporadic idle fraction = %.2f, want > 0.6", frac)
+	}
+	if tr.Peak() == 0 {
+		t.Error("sporadic trace has no activity at all")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"sporadic", "periodic", "bursty"} {
+		tr, err := ByName(name, Options{Seed: 4})
+		if err != nil || tr.Name != name {
+			t.Errorf("ByName(%s): %v, %v", name, tr, err)
+		}
+	}
+	if _, err := ByName("nope", Options{}); err == nil {
+		t.Error("unknown trace should error")
+	}
+}
+
+func TestTraceDeterministicBySeed(t *testing.T) {
+	a := Bursty(Options{Seed: 7})
+	b := Bursty(Options{Seed: 7})
+	for i := range a.RPS {
+		if a.RPS[i] != b.RPS[i] {
+			t.Fatalf("same seed differs at step %d", i)
+		}
+	}
+}
+
+func TestStreamMatchesRate(t *testing.T) {
+	tr := Constant(100, 10*time.Minute, time.Minute)
+	s := NewStream(tr, 0, rand.New(rand.NewSource(9)))
+	arrivals := s.Collect(0)
+	// Expected 100 * 600 = 60000 arrivals; Poisson sd ~245.
+	if n := len(arrivals); math.Abs(float64(n)-60000) > 1500 {
+		t.Fatalf("arrivals = %d, want ~60000", n)
+	}
+	for i := 1; i < len(arrivals); i++ {
+		if arrivals[i] < arrivals[i-1] {
+			t.Fatal("arrivals not ordered")
+		}
+	}
+	if last := arrivals[len(arrivals)-1]; last >= 10*time.Minute {
+		t.Fatalf("arrival beyond limit: %v", last)
+	}
+}
+
+func TestStreamLimitTruncates(t *testing.T) {
+	tr := Constant(10, time.Hour, time.Minute)
+	s := NewStream(tr, 2*time.Minute, rand.New(rand.NewSource(1)))
+	for _, at := range s.Collect(0) {
+		if at >= 2*time.Minute {
+			t.Fatalf("arrival %v beyond 2m limit", at)
+		}
+	}
+}
+
+func TestStreamWrapsBeyondTrace(t *testing.T) {
+	tr := Constant(10, time.Minute, time.Minute)
+	s := NewStream(tr, 5*time.Minute, rand.New(rand.NewSource(1)))
+	arr := s.Collect(0)
+	if len(arr) < 20 {
+		t.Fatalf("wrapping stream produced only %d arrivals", len(arr))
+	}
+}
+
+func TestStreamZeroRate(t *testing.T) {
+	tr := &Trace{Name: "silent", Step: time.Minute, RPS: make([]float64, 10)}
+	s := NewStream(tr, 0, rand.New(rand.NewSource(1)))
+	if got := s.Collect(0); len(got) != 0 {
+		t.Fatalf("silent trace produced %d arrivals", len(got))
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, mean := range []float64{0.5, 5, 50, 500} {
+		sum := 0.0
+		n := 2000
+		for i := 0; i < n; i++ {
+			sum += float64(poisson(rng, mean))
+		}
+		got := sum / float64(n)
+		if math.Abs(got-mean) > mean*0.1+0.5 {
+			t.Errorf("poisson(%v) sample mean = %v", mean, got)
+		}
+	}
+	if poisson(rng, 0) != 0 || poisson(rng, -1) != 0 {
+		t.Error("non-positive mean should give 0")
+	}
+}
+
+// Property: RateAt never panics and is non-negative for any time,
+// including far beyond the trace and negative offsets from wrapping.
+func TestPropertyRateAtTotal(t *testing.T) {
+	tr := Bursty(Options{Seed: 11, Days: 1})
+	f := func(ns int64) bool {
+		r := tr.RateAt(time.Duration(ns))
+		return r >= 0 && !math.IsNaN(r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkStreamHighRate(b *testing.B) {
+	tr := Constant(1000, time.Hour, time.Minute)
+	rng := rand.New(rand.NewSource(1))
+	s := NewStream(tr, 0, rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Next(); !ok {
+			s = NewStream(tr, 0, rng)
+		}
+	}
+}

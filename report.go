@@ -1,0 +1,192 @@
+package infless
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/tanklab/infless/internal/coldstart"
+	"github.com/tanklab/infless/internal/sim"
+)
+
+// Report summarizes one platform run with the metrics the paper's
+// evaluation reports.
+type Report struct {
+	System   string
+	Duration time.Duration
+
+	Served  uint64
+	Dropped uint64
+	// Throughput is served requests per second of run time.
+	Throughput float64
+	// ThroughputPerResource is the paper's normalized throughput: served
+	// requests per beta-weighted resource-second (Figures 12 and 18).
+	ThroughputPerResource float64
+	// SLOViolationRate counts late responses and drops (Figure 15a).
+	SLOViolationRate float64
+	// Fragmentation is the final resource-fragment ratio (Figure 17b).
+	Fragmentation float64
+	// CPUCoreSeconds / GPUUnitSeconds are the integrated resource use.
+	CPUCoreSeconds float64
+	GPUUnitSeconds float64
+
+	Functions []FunctionReport
+
+	// Provisioning is the sampled allocation time series (only when
+	// Options.ProvisionSampleEvery was set; Figure 14).
+	Provisioning []ProvisionSample
+}
+
+// FunctionReport is the per-function view.
+type FunctionReport struct {
+	Name             string
+	SLO              time.Duration
+	Served           uint64
+	Dropped          uint64
+	SLOViolationRate float64
+	ColdStartRate    float64
+	MeanLatency      time.Duration
+	P99Latency       time.Duration
+	// Breakdown components (Figure 15 b/c): mean cold-start wait, batch
+	// queuing and execution time of served requests.
+	MeanCold  time.Duration
+	MeanQueue time.Duration
+	MeanExec  time.Duration
+	// Launches / ColdLaunches count instance starts.
+	Launches     int
+	ColdLaunches int
+	// BatchUsage maps executed batch size -> requests served at that size
+	// (Figure 13 a/b).
+	BatchUsage map[int]uint64
+	// ConfigUsage maps "(b,c,g)" labels -> instances launched with that
+	// configuration (Figure 13c).
+	ConfigUsage map[string]int
+}
+
+// ProvisionSample is one point of the provisioning time series.
+type ProvisionSample struct {
+	At       time.Duration
+	CPUCores int
+	GPUUnits int
+}
+
+func buildReport(res *sim.Result) *Report {
+	r := &Report{
+		System:                res.System,
+		Duration:              res.Duration,
+		Served:                res.Served(),
+		Dropped:               res.Dropped(),
+		Throughput:            res.Throughput(),
+		ThroughputPerResource: res.ThroughputPerResource(),
+		SLOViolationRate:      res.ViolationRate(),
+		Fragmentation:         res.FinalFragmentation,
+		CPUCoreSeconds:        res.CPUCoreSeconds,
+		GPUUnitSeconds:        res.GPUUnitSeconds,
+	}
+	for i, at := range res.ProvisionTimes {
+		r.Provisioning = append(r.Provisioning, ProvisionSample{
+			At:       at,
+			CPUCores: res.ProvisionSeries[i].CPU,
+			GPUUnits: res.ProvisionSeries[i].GPU,
+		})
+	}
+	for _, f := range res.Functions {
+		cold, queue, exec := f.Recorder.Breakdown()
+		fr := FunctionReport{
+			Name:             f.Spec.Name,
+			SLO:              f.Spec.SLO,
+			Served:           f.Recorder.Served(),
+			Dropped:          f.Recorder.Dropped(),
+			SLOViolationRate: f.Recorder.ViolationRate(),
+			ColdStartRate:    f.Recorder.ColdRate(),
+			MeanLatency:      f.Recorder.Mean(),
+			P99Latency:       f.Recorder.Percentile(0.99),
+			MeanCold:         cold,
+			MeanQueue:        queue,
+			MeanExec:         exec,
+			Launches:         f.Launches,
+			ColdLaunches:     f.ColdLaunches,
+			BatchUsage:       map[int]uint64{},
+			ConfigUsage:      map[string]int{},
+		}
+		for b, n := range f.BatchServed {
+			fr.BatchUsage[b] = n
+		}
+		for c, n := range f.ConfigCount {
+			fr.ConfigUsage[c] = n
+		}
+		r.Functions = append(r.Functions, fr)
+	}
+	return r
+}
+
+// String renders a human-readable summary table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "system=%s duration=%v served=%d dropped=%d\n", r.System, r.Duration, r.Served, r.Dropped)
+	fmt.Fprintf(&b, "throughput=%.1f rps  throughput/resource=%.2f  slo-violation=%.2f%%  fragmentation=%.1f%%\n",
+		r.Throughput, r.ThroughputPerResource, 100*r.SLOViolationRate, 100*r.Fragmentation)
+	fmt.Fprintf(&b, "%-14s %9s %8s %8s %8s %9s %9s %9s\n",
+		"function", "served", "viol%", "cold%", "p99", "coldAvg", "queueAvg", "execAvg")
+	for _, f := range r.Functions {
+		fmt.Fprintf(&b, "%-14s %9d %7.2f%% %7.2f%% %8s %9s %9s %9s\n",
+			f.Name, f.Served, 100*f.SLOViolationRate, 100*f.ColdStartRate,
+			roundMS(f.P99Latency), roundMS(f.MeanCold), roundMS(f.MeanQueue), roundMS(f.MeanExec))
+	}
+	return b.String()
+}
+
+func roundMS(d time.Duration) string {
+	return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+}
+
+// ColdStartResult reports a standalone cold-start policy evaluation.
+type ColdStartResult struct {
+	Policy        string
+	Invocations   int
+	ColdStartRate float64
+	// WastePerInvocation is the mean image-resident-but-unused time
+	// charged per request (Figure 16's "idle resource waste").
+	WastePerInvocation time.Duration
+}
+
+// EvaluateColdStartPolicy replays a trace of invocation instants against
+// a keep-alive policy (Figure 16's experiment). Use DefaultLSTH, or build
+// policies from the internal/coldstart package in advanced scenarios.
+func EvaluateColdStartPolicy(p coldstart.Policy, arrivals []time.Duration) ColdStartResult {
+	res := coldstart.Evaluate(p, arrivals)
+	return ColdStartResult{
+		Policy:             res.Policy,
+		Invocations:        res.Invocations,
+		ColdStartRate:      res.ColdRate(),
+		WastePerInvocation: res.WastePerInvocation(),
+	}
+}
+
+// FixedKeepAlivePolicy returns the fixed keep-alive policy used by
+// OpenFaaS and BATCH (no pre-warming, constant keep-alive window).
+func FixedKeepAlivePolicy(keepAlive time.Duration) coldstart.Policy {
+	return coldstart.Fixed{KeepAlive: keepAlive}
+}
+
+// HHPPolicy returns the hybrid histogram policy of "Serverless in the
+// Wild" (ATC'20) with its default 4-hour tracking window.
+func HHPPolicy() coldstart.Policy { return coldstart.NewHHP(coldstart.HHPOptions{}) }
+
+// LSTHPolicy returns INFless's Long-Short Term Histogram policy with the
+// given blending weight gamma (the paper evaluates 0.3, 0.5 and 0.7).
+func LSTHPolicy(gamma float64) coldstart.Policy {
+	return coldstart.NewLSTH(coldstart.LSTHOptions{Gamma: gamma})
+}
+
+// SortedBatchSizes returns the function's used batch sizes ascending —
+// convenient for rendering Figure 13-style tables.
+func (f FunctionReport) SortedBatchSizes() []int {
+	var out []int
+	for b := range f.BatchUsage {
+		out = append(out, b)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,76 @@
+package infless_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	infless "github.com/tanklab/infless"
+)
+
+func TestReportRendering(t *testing.T) {
+	p, _ := infless.NewPlatform(infless.Options{})
+	_ = p.Deploy(infless.FunctionConfig{
+		Name: "alpha", Model: "MobileNet", SLO: 100 * time.Millisecond,
+		Traffic: infless.Traffic{RPS: 40},
+	})
+	rep, err := p.Run(time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.String()
+	for _, want := range []string{"system=infless", "alpha", "throughput"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	f := rep.Functions[0]
+	bs := f.SortedBatchSizes()
+	for i := 1; i < len(bs); i++ {
+		if bs[i] < bs[i-1] {
+			t.Fatalf("batch sizes not sorted: %v", bs)
+		}
+	}
+	if f.MeanLatency <= 0 || f.P99Latency < f.MeanLatency {
+		t.Fatalf("latency stats inconsistent: mean=%v p99=%v", f.MeanLatency, f.P99Latency)
+	}
+	if rep.CPUCoreSeconds < 0 || rep.GPUUnitSeconds < 0 {
+		t.Fatal("negative resource integrals")
+	}
+}
+
+func TestAblationOptionsViaFacade(t *testing.T) {
+	p, err := infless.NewPlatform(infless.Options{DisableBatching: true, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = p.Deploy(infless.FunctionConfig{
+		Name: "f", Model: "ResNet-50", SLO: 200 * time.Millisecond,
+		Traffic: infless.Traffic{RPS: 80},
+	})
+	rep, err := p.Run(time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := range rep.Functions[0].BatchUsage {
+		if b != 1 {
+			t.Fatalf("BB ablation executed batch %d", b)
+		}
+	}
+}
+
+func TestLSTHGammaOptionViaFacade(t *testing.T) {
+	for _, gamma := range []float64{0.3, 0.7} {
+		p, err := infless.NewPlatform(infless.Options{LSTHGamma: gamma, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = p.Deploy(infless.FunctionConfig{
+			Name: "f", Model: "MNIST", SLO: time.Second,
+			Traffic: infless.Traffic{RPS: 5},
+		})
+		if _, err := p.Run(time.Minute); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
