@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: check build vet test race bench
+
+## check: tier-1 gate — build, vet, full tests, race pass on the shared
+## runtime + gateway, and single-definition guards (see scripts/check.sh).
+check:
+	./scripts/check.sh
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+## race: the packages exercised concurrently (wall-clock gateway and the
+## runtime policies it shares with the simulator).
+race:
+	$(GO) test -race ./internal/gateway/... ./internal/runtime/...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=NONE ./...

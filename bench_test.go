@@ -17,6 +17,7 @@ import (
 	"github.com/tanklab/infless/internal/model"
 	"github.com/tanklab/infless/internal/perf"
 	"github.com/tanklab/infless/internal/profiler"
+	"github.com/tanklab/infless/internal/runtime"
 	"github.com/tanklab/infless/internal/scheduler"
 )
 
@@ -101,3 +102,23 @@ func BenchmarkCOPPrediction(b *testing.B) {
 }
 
 var resGPU2 = perf.Resources{GPU: 2}
+
+// BenchmarkRateEstimator measures the shared arrival-rate estimator both
+// data planes run on every request (Observe) and every scaling decision
+// (Estimate). Engine.Enqueue/trySubmit micro-benchmarks live next to the
+// engine in internal/sim/bench_test.go.
+func BenchmarkRateEstimator(b *testing.B) {
+	re := runtime.NewRateEstimator(10 * time.Second)
+	b.ReportAllocs()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		now := time.Duration(i) * 100 * time.Microsecond // 10k RPS
+		re.Observe(now)
+		if i%16 == 0 {
+			sink += re.Estimate(now)
+		}
+	}
+	benchSink = sink
+}
+
+var benchSink float64

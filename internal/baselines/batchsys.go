@@ -160,7 +160,7 @@ func (b *BatchSys) chooseUniform(f *sim.FunctionState, r float64, fits func(sche
 func (b *BatchSys) Route(e *sim.Engine, f *sim.FunctionState, r *sim.Request) *sim.Instance {
 	var best *sim.Instance
 	bestLen := -1
-	for _, inst := range f.Instances {
+	for _, inst := range f.Instances() {
 		if inst.Draining || !inst.CanAccept() {
 			continue
 		}
@@ -187,7 +187,7 @@ func (b *BatchSys) Tick(e *sim.Engine, f *sim.FunctionState) {
 	demand := f.RateEstimate(now) + float64(len(f.Pending))/e.Config().ScaleInterval.Seconds()
 
 	var capacity float64
-	for _, inst := range f.Instances {
+	for _, inst := range f.Instances() {
 		if !inst.Draining {
 			capacity += inst.Cand.Bounds.RUp
 		}

@@ -117,7 +117,7 @@ func (o *OpenFaaSPlus) Init(e *sim.Engine) {
 // bursts).
 func (o *OpenFaaSPlus) Route(e *sim.Engine, f *sim.FunctionState, r *sim.Request) *sim.Instance {
 	// Reuse: a ready instance with an empty queue that is not executing.
-	for _, inst := range f.Instances {
+	for _, inst := range f.Instances() {
 		if inst.Ready && !inst.Busy && !inst.Draining && inst.Queue.Len() == 0 {
 			return inst
 		}
@@ -126,7 +126,7 @@ func (o *OpenFaaSPlus) Route(e *sim.Engine, f *sim.FunctionState, r *sim.Request
 	// (it was launched for a previous arrival of this burst).
 	starting := 0
 	var startingWithRoom *sim.Instance
-	for _, inst := range f.Instances {
+	for _, inst := range f.Instances() {
 		if inst.Ready || inst.Draining {
 			continue
 		}

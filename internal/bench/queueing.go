@@ -99,7 +99,7 @@ func (c *fixedController) Init(e *sim.Engine) {
 }
 
 func (c *fixedController) Route(e *sim.Engine, f *sim.FunctionState, r *sim.Request) *sim.Instance {
-	for _, inst := range f.Instances {
+	for _, inst := range f.Instances() {
 		if inst.CanAccept() {
 			return inst
 		}

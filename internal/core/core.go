@@ -24,6 +24,7 @@ import (
 	"github.com/tanklab/infless/internal/batching"
 	"github.com/tanklab/infless/internal/coldstart"
 	"github.com/tanklab/infless/internal/profiler"
+	"github.com/tanklab/infless/internal/runtime"
 	"github.com/tanklab/infless/internal/scheduler"
 	"github.com/tanklab/infless/internal/sim"
 )
@@ -106,7 +107,7 @@ func (c *Controller) Route(e *sim.Engine, f *sim.FunctionState, r *sim.Request) 
 
 	var best *sim.Instance
 	bestCredit := math.Inf(-1)
-	for _, inst := range f.Instances {
+	for _, inst := range f.Instances() {
 		if dt > 0 {
 			cap := inst.Rate // at most one second's worth of burst credit
 			if cap < 1 {
@@ -143,8 +144,8 @@ func (c *Controller) Tick(e *sim.Engine, f *sim.FunctionState) {
 	backlog := float64(len(f.Pending)) / e.Config().ScaleInterval.Seconds()
 	demand := r + backlog
 
-	bounds := make([]batching.Bounds, len(f.Instances))
-	for i, inst := range f.Instances {
+	bounds := make([]batching.Bounds, len(f.Instances()))
+	for i, inst := range f.Instances() {
 		if inst.Draining {
 			bounds[i] = batching.Bounds{} // contributes no capacity
 			continue
@@ -154,13 +155,13 @@ func (c *Controller) Tick(e *sim.Engine, f *sim.FunctionState) {
 	plan := batching.AllocateRates(bounds, demand, c.opts.Alpha)
 
 	for i, rate := range plan.Rates {
-		f.Instances[i].Rate = rate
+		f.Instances()[i].Rate = rate
 	}
 	// Collect pointers first: Retire can reclaim immediately, which
 	// mutates f.Instances and would invalidate the release indices.
 	var release []*sim.Instance
 	for _, idx := range plan.Release {
-		if inst := f.Instances[idx]; !inst.Draining {
+		if inst := f.Instances()[idx]; !inst.Draining {
 			release = append(release, inst)
 		}
 	}
@@ -170,12 +171,7 @@ func (c *Controller) Tick(e *sim.Engine, f *sim.FunctionState) {
 	// Sub-RPS residuals are estimation noise; launching for them would
 	// churn instances every tick.
 	if plan.ResidualRPS > 1 {
-		// Scale ahead: alpha targets ~alpha*r_up utilization per instance
-		// (Section 3.2), so provision the residual plus (1/alpha - 1) of
-		// the demand as headroom. Under a rising load this turns a stream
-		// of tiny residuals into one efficiently-sized instance (large
-		// batch, saturable) instead of a trickle of small-batch ones.
-		target := plan.ResidualRPS + demand*(1/c.opts.Alpha-1)
+		target := runtime.ScaleAheadTarget(plan.ResidualRPS, demand, c.opts.Alpha)
 		decisions, _ := f.Plan(c.pred, c.opts.Sched).Schedule(target, e.Cluster())
 		for _, d := range decisions {
 			e.LaunchPlaced(f, d)

@@ -115,7 +115,7 @@ func TestScaleInReleasesInstances(t *testing.T) {
 	})
 	e.Run()
 	// After the drop to 5 RPS, a single small instance suffices.
-	if n := len(f.Instances); n > 2 {
+	if n := len(f.Instances()); n > 2 {
 		t.Errorf("instances after scale-in = %d, want <= 2", n)
 	}
 }

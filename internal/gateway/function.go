@@ -3,16 +3,25 @@ package gateway
 // function.go is the wall-clock data plane: per-function instance pools
 // whose goroutines collect batches (full-or-timeout, as in Section 3.2)
 // and emulate execution by sleeping for the cost model's batch time.
+//
+// All policy decisions — batch timeout, arrival-rate estimation,
+// instance-pool bookkeeping — come from internal/runtime and are the
+// same code the discrete-event simulator runs; this file only adapts
+// them to wall time. Wall instants convert to "plane time" (model-time
+// offsets from the server epoch, scaled by SpeedFactor), so the shared
+// policies observe the same timeline in both planes.
 
 import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
 	"github.com/tanklab/infless/internal/metrics"
 	"github.com/tanklab/infless/internal/model"
+	"github.com/tanklab/infless/internal/runtime"
 	"github.com/tanklab/infless/internal/scheduler"
 )
 
@@ -21,35 +30,48 @@ type function struct {
 	srv   *Server
 	model *model.Model
 	plan  *scheduler.Plan
+	batch runtime.BatchPolicy
 
 	mu        sync.Mutex
-	instances []*instance
+	pool      runtime.Pool[*instance]
+	rate      *runtime.RateEstimator
 	recorder  *metrics.LatencyRecorder
+	launchDue time.Duration // plane time; 0 = no launch pending
 	closed    bool
-	arrivals  []time.Time // recent arrival instants (rate estimation)
 }
 
-// noteArrival records an invocation instant and returns the estimated
-// model-time request rate: wall-clock rate times the speed factor (the
-// emulated world runs SpeedFactor times faster than the wall).
-func (f *function) noteArrival(now time.Time) float64 {
-	const window = 128
+// launchDebounce is how long (in model time) an overflow must persist
+// before the gateway sizes and launches an instance. The simulator's
+// autoscaler aggregates a full ScaleInterval (1s) of arrivals before
+// deciding; launching at the first overflowing request instead would
+// size the instance from a near-empty estimator and lock a burst into
+// batch-of-1 capacity. One fifth of a tick reacts fast while letting a
+// request wave register.
+const launchDebounce = 200 * time.Millisecond
+
+// noteArrival records an invocation at the current plane time. The
+// shared estimator expires arrivals older than the rate window, so the
+// first request after an idle gap no longer sees the pre-idle rate (the
+// former fixed-size arrival log never expired).
+func (f *function) noteArrival() {
+	now := f.srv.planeNow()
 	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.arrivals = append(f.arrivals, now)
-	if len(f.arrivals) > window {
-		f.arrivals = f.arrivals[len(f.arrivals)-window:]
+	f.rate.Observe(now)
+	f.mu.Unlock()
+	f.srv.obs.RequestArrived(f.name(), now)
+}
+
+// demand estimates the model-time request rate for scale-out sizing.
+// Must be called with f.mu held. The gateway scales out reactively (no
+// periodic autoscaler tick), so a surge is sized by the short-horizon
+// burst rate when that exceeds the sliding-window average.
+func (f *function) demand(now time.Duration) float64 {
+	rate := f.rate.Estimate(now)
+	if b := f.rate.Burst(now); b > rate {
+		rate = b
 	}
-	if len(f.arrivals) < 2 {
-		return 1
-	}
-	elapsed := f.arrivals[len(f.arrivals)-1].Sub(f.arrivals[0]).Seconds()
-	if elapsed <= 0 {
-		elapsed = 1e-3
-	}
-	rate := float64(len(f.arrivals)-1) / elapsed * f.srv.cfg.SpeedFactor
 	if rate < 1 {
-		rate = 1
+		rate = 1 // scale-out needs nonzero demand for the first request
 	}
 	return rate
 }
@@ -79,23 +101,46 @@ type instance struct {
 	rng    *rand.Rand
 }
 
+// errWaitWarm signals that scale-out declined to launch because an
+// instance is already warming: the caller should hold its request and
+// re-offer, the way the simulator parks unplaceable requests in the
+// Pending backlog until the autoscaler's launch comes up.
+var errWaitWarm = fmt.Errorf("gateway: instance warming, backlog held")
+
 // invoke routes one request: try existing instances, scale out if
-// needed, and wait for the batch execution to answer.
+// needed, and wait for the batch execution to answer. While an instance
+// is warming, overflow requests are held and re-offered instead of
+// triggering a launch stampede — the gateway's analog of the simulator's
+// Pending backlog. Unlike the simulator (whose expirePending models
+// clients timing out at the SLO), a held request lives as long as the
+// HTTP client keeps waiting: a real server cannot un-answer, so it
+// serves late and lets the violation show up in ViolationRate.
 func (f *function) invoke(ctx context.Context) (InvokeResponse, error) {
 	inv := &invocation{arrived: time.Now(), respCh: make(chan invokeResult, 1)}
-	rate := f.noteArrival(inv.arrived)
-
-	if !f.offer(inv) {
-		if err := f.scaleOut(rate); err != nil {
-			f.drop()
-			return InvokeResponse{}, err
-		}
-		if !f.offer(inv) {
-			f.drop()
-			return InvokeResponse{}, fmt.Errorf("gateway: %s saturated", f.name())
-		}
-	}
+	f.noteArrival()
 	slo := f.recorder.SLO()
+	speed := f.srv.cfg.SpeedFactor
+
+	holdUntil := inv.arrived.Add(scale(4*slo, speed) + time.Second)
+	poll := scale(slo, speed) / 16
+	if poll < 200*time.Microsecond {
+		poll = 200 * time.Microsecond
+	}
+	for !f.offer(inv) {
+		err := f.scaleOut()
+		if err == nil {
+			continue // instance launched; its queue has room
+		}
+		if err == errWaitWarm && time.Now().Before(holdUntil) {
+			time.Sleep(poll)
+			continue
+		}
+		f.drop()
+		if err == errWaitWarm {
+			err = fmt.Errorf("gateway: %s saturated", f.name())
+		}
+		return InvokeResponse{}, err
+	}
 	deadline := time.NewTimer(scale(4*slo, f.srv.cfg.SpeedFactor) + time.Second)
 	defer deadline.Stop()
 	select {
@@ -108,11 +153,18 @@ func (f *function) invoke(ctx context.Context) (InvokeResponse, error) {
 	}
 }
 
-// offer attempts a non-blocking enqueue on any live instance.
+// offer attempts a non-blocking enqueue, preferring instances with the
+// highest saturation rate r_up — a greedy approximation of INFless
+// non-uniform dispatching (the simulator weights dispatch credits by
+// r_up the same way), so load concentrates on big-batch instances and
+// undersized ones from the startup ramp starve and idle out.
 func (f *function) offer(inv *invocation) bool {
 	f.mu.Lock()
-	insts := append([]*instance(nil), f.instances...)
+	insts := f.pool.Snapshot()
 	f.mu.Unlock()
+	sort.Slice(insts, func(i, j int) bool {
+		return insts[i].cand.Bounds.RUp > insts[j].cand.Bounds.RUp
+	})
 	for _, inst := range insts {
 		select {
 		case inst.reqCh <- inv:
@@ -127,41 +179,74 @@ func (f *function) offer(inv *invocation) bool {
 // with MaxInstancesPerCall = 1). The rate estimate lets AvailableConfig
 // admit saturable batch sizes, exactly as the autoscaler does in the
 // simulator.
-func (f *function) scaleOut(rate float64) error {
+func (f *function) scaleOut() error {
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	if f.closed {
+		f.mu.Unlock()
 		return fmt.Errorf("gateway: %s is undeployed", f.name())
 	}
+	// One launch at a time: while an instance is warming, hold the
+	// backlog instead of stampeding into more launches (the simulator's
+	// autoscaler likewise places at most one instance per tick, and a
+	// cold start spans roughly one tick of model time).
+	wall := time.Now()
+	for _, inst := range f.pool.Members() {
+		if inst.warmAt.After(wall) {
+			f.mu.Unlock()
+			return errWaitWarm
+		}
+	}
+	// Debounce: the first overflow arms a launch deadline; the launch
+	// itself happens once the deadline passes, so the demand estimate
+	// below has seen the whole request wave, not just its first packet.
+	now := f.srv.planeNow()
+	if f.launchDue == 0 || now < f.launchDue {
+		if f.launchDue == 0 {
+			f.launchDue = now + launchDebounce
+		}
+		f.mu.Unlock()
+		return errWaitWarm
+	}
+	f.launchDue = 0
+	// Size the launch by the estimator's CURRENT view (like the sim's
+	// autoscaler at tick time), not by whichever request happened to
+	// trigger this call. When scale-out runs, no existing capacity could
+	// place the request, so the whole demand is residual; provision it
+	// with the same alpha headroom the simulator applies (Section 3.2).
+	rate := f.demand(now)
+	target := runtime.ScaleAheadTarget(rate, rate, runtime.DefaultAlpha)
 	f.srv.clMu.Lock()
-	decisions, _ := f.plan.Schedule(rate, f.srv.cfg.Cluster)
+	decisions, _ := f.plan.Schedule(target, f.srv.cfg.Cluster)
+	alloc := f.srv.cfg.Cluster.TotalAllocated()
 	f.srv.clMu.Unlock()
 	if len(decisions) == 0 {
+		f.mu.Unlock()
 		return fmt.Errorf("gateway: cluster cannot host another %s instance", f.name())
 	}
 	d := decisions[0]
+	coldDur := modelColdStart(f.model)
 	inst := &instance{
-		id:     len(f.instances) + 1,
+		id:     f.pool.NextID(),
 		f:      f,
 		cand:   d.Candidate,
 		server: d.Server,
 		reqCh:  make(chan *invocation, 2*d.Candidate.B),
 		quit:   make(chan struct{}),
-		warmAt: time.Now().Add(f.coldStart()),
-		rng:    rand.New(rand.NewSource(f.srv.cfg.Seed + int64(len(f.instances)) + 7)),
+		warmAt: time.Now().Add(scale(coldDur, f.srv.cfg.SpeedFactor)),
+		rng:    rand.New(rand.NewSource(f.srv.cfg.Seed + int64(f.pool.Len()) + 7)),
 	}
-	f.instances = append(f.instances, inst)
+	f.pool.Add(inst)
+	f.mu.Unlock()
+	now = f.srv.planeNow()
+	f.srv.obs.InstanceLaunched(f.name(), inst.id, true, coldDur, now)
+	f.srv.obs.AllocationChanged(alloc, now)
 	go inst.loop()
 	return nil
 }
 
-// coldStart returns the emulated cold-start duration at gateway speed.
-func (f *function) coldStart() time.Duration {
-	// The gateway always "pulls" from a warm image cache; model loading
-	// still costs time, scaled like execution.
-	return scale(modelColdStart(f.model), f.srv.cfg.SpeedFactor)
-}
-
+// modelColdStart is the emulated model-loading cost (model time; the
+// gateway always "pulls" from a warm image cache, but loading the model
+// still costs time proportional to its size).
 func modelColdStart(m *model.Model) time.Duration {
 	return time.Duration(float64(m.MemoryMB)/220.0*float64(time.Second)) + 900*time.Millisecond
 }
@@ -175,12 +260,16 @@ func (f *function) name() string {
 }
 
 func (f *function) drop() {
+	f.srv.obs.RequestDropped(f.name(), f.srv.planeNow())
+}
+
+func (f *function) recordDrop() {
 	f.mu.Lock()
 	f.recorder.Drop()
 	f.mu.Unlock()
 }
 
-func (f *function) observe(s metrics.Sample) {
+func (f *function) recordServe(s metrics.Sample) {
 	f.mu.Lock()
 	f.recorder.Observe(s)
 	f.mu.Unlock()
@@ -196,7 +285,7 @@ func (f *function) metrics() MetricsEntry {
 		ViolationRate: f.recorder.ViolationRate(),
 		MeanMs:        float64(f.recorder.Mean()) / float64(time.Millisecond),
 		P99Ms:         float64(f.recorder.Percentile(0.99)) / float64(time.Millisecond),
-		Instances:     len(f.instances),
+		Instances:     f.pool.Len(),
 	}
 }
 
@@ -204,8 +293,7 @@ func (f *function) metrics() MetricsEntry {
 func (f *function) shutdown() {
 	f.mu.Lock()
 	f.closed = true
-	insts := append([]*instance(nil), f.instances...)
-	f.instances = nil
+	insts := f.pool.Clear()
 	f.mu.Unlock()
 	for _, inst := range insts {
 		inst.stop()
@@ -216,16 +304,15 @@ func (f *function) shutdown() {
 // cluster resources.
 func (f *function) remove(inst *instance) {
 	f.mu.Lock()
-	for i, x := range f.instances {
-		if x == inst {
-			f.instances = append(f.instances[:i], f.instances[i+1:]...)
-			break
-		}
-	}
+	f.pool.Remove(inst)
 	f.mu.Unlock()
 	f.srv.clMu.Lock()
 	f.srv.cfg.Cluster.Release(inst.server, inst.cand.Res, f.model.MemoryMB)
+	alloc := f.srv.cfg.Cluster.TotalAllocated()
 	f.srv.clMu.Unlock()
+	now := f.srv.planeNow()
+	f.srv.obs.InstanceReclaimed(f.name(), inst.id, now)
+	f.srv.obs.AllocationChanged(alloc, now)
 }
 
 func (inst *instance) stop() {
@@ -239,7 +326,7 @@ func (inst *instance) stop() {
 func (inst *instance) loop() {
 	f := inst.f
 	speed := f.srv.cfg.SpeedFactor
-	timeout := scale(batchTimeout(f.recorder.SLO(), inst.cand.TExec), speed)
+	timeout := scale(f.batch.Timeout(inst.cand.TExec), speed)
 	idle := time.NewTimer(f.srv.cfg.IdleTimeout)
 	defer idle.Stop()
 
@@ -276,6 +363,7 @@ func (inst *instance) loop() {
 				}
 			}
 			flush.Stop()
+			f.srv.obs.BatchSubmitted(f.name(), inst.id, len(batch), f.srv.planeNow())
 			exec := f.model.ExecTime(len(batch), inst.cand.Res, model.ExecOptions{
 				Contention: 0.35, NoiseSD: 0.025, Rng: inst.rng,
 			})
@@ -319,7 +407,7 @@ func (inst *instance) finish(batch []*invocation, exec time.Duration, coldUntil 
 			Queue: time.Duration(float64(queue) * speed),
 			Exec:  exec,
 		}
-		inst.f.observe(sample)
+		inst.f.srv.obs.RequestServed(inst.f.name(), sample, inst.f.srv.planeNow())
 		inv.respCh <- invokeResult{res: InvokeResponse{
 			Function:  inst.f.name(),
 			LatencyMs: float64(sample.Total()) / float64(time.Millisecond),
@@ -351,14 +439,4 @@ func (inst *instance) failAll(err error) {
 			return
 		}
 	}
-}
-
-// batchTimeout mirrors internal/sim: the longest the head request may
-// wait while leaving room for execution within the SLO.
-func batchTimeout(slo, texec time.Duration) time.Duration {
-	t := slo - texec
-	if t < time.Millisecond {
-		t = time.Millisecond
-	}
-	return t
 }

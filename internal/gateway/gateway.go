@@ -28,6 +28,7 @@ import (
 	"github.com/tanklab/infless/internal/metrics"
 	"github.com/tanklab/infless/internal/model"
 	"github.com/tanklab/infless/internal/profiler"
+	"github.com/tanklab/infless/internal/runtime"
 	"github.com/tanklab/infless/internal/scheduler"
 )
 
@@ -43,6 +44,17 @@ type Config struct {
 	SpeedFactor float64
 	// IdleTimeout reclaims instances with no traffic (default 60s).
 	IdleTimeout time.Duration
+	// RateWindow is the sliding window (in model time) of the shared
+	// arrival-rate estimator, matching the simulator's Config.RateWindow
+	// (default 10s).
+	RateWindow time.Duration
+	// Observer, when set, receives every lifecycle event (arrivals, batch
+	// submissions, launches, reclaims) alongside the built-in metrics
+	// recorders. Hooks are invoked from request and instance goroutines
+	// concurrently; implementations must be safe for concurrent use.
+	// Event timestamps are plane time: model-time offsets from the
+	// server's start, i.e. wall elapsed times SpeedFactor.
+	Observer runtime.Observer
 	// Seed drives execution-time noise.
 	Seed int64
 }
@@ -50,10 +62,12 @@ type Config struct {
 // Server is the INFless HTTP gateway. Create with New, mount as an
 // http.Handler, and Close when done.
 type Server struct {
-	mux  *http.ServeMux
-	cfg  Config
-	pred scheduler.Predictor
-	reg  *core.Registry
+	mux   *http.ServeMux
+	cfg   Config
+	pred  scheduler.Predictor
+	reg   *core.Registry
+	epoch time.Time
+	obs   runtime.Observers
 
 	mu  sync.Mutex
 	fns map[string]*function
@@ -89,13 +103,21 @@ func New(cfg Config) *Server {
 	if cfg.IdleTimeout <= 0 {
 		cfg.IdleTimeout = 60 * time.Second
 	}
+	if cfg.RateWindow <= 0 {
+		cfg.RateWindow = 10 * time.Second
+	}
 	s := &Server{
-		mux:  http.NewServeMux(),
-		cfg:  cfg,
-		pred: cfg.Predictor,
-		reg:  core.NewRegistry(),
-		fns:  map[string]*function{},
-		rng:  rand.New(rand.NewSource(cfg.Seed + 1)),
+		mux:   http.NewServeMux(),
+		cfg:   cfg,
+		pred:  cfg.Predictor,
+		reg:   core.NewRegistry(),
+		epoch: time.Now(),
+		fns:   map[string]*function{},
+		rng:   rand.New(rand.NewSource(cfg.Seed + 1)),
+	}
+	s.obs = runtime.Observers{&recorderSink{s: s}}
+	if cfg.Observer != nil {
+		s.obs = append(s.obs, cfg.Observer)
 	}
 	s.mux.HandleFunc("POST /system/functions", s.handleDeploy)
 	s.mux.HandleFunc("GET /system/functions", s.handleList)
@@ -108,6 +130,42 @@ func New(cfg Config) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
+}
+
+// planeNow converts the wall clock to plane time — the model-time offset
+// since the server started, compressed by SpeedFactor. Both data planes
+// feed these offsets to the shared runtime policies, so a rate window of
+// 10s always means ten seconds of *model* time regardless of speed.
+func (s *Server) planeNow() time.Duration {
+	return time.Duration(float64(time.Since(s.epoch)) * s.cfg.SpeedFactor)
+}
+
+// recorderSink is the built-in observer that feeds per-function latency
+// recorders, mirroring the simulator's metricsObserver. Events for
+// undeployed functions are ignored (an in-flight batch can complete
+// after its function is deleted).
+type recorderSink struct {
+	runtime.NopObserver
+	s *Server
+}
+
+func (r *recorderSink) lookup(fn string) (*function, bool) {
+	r.s.mu.Lock()
+	f, ok := r.s.fns[fn]
+	r.s.mu.Unlock()
+	return f, ok
+}
+
+func (r *recorderSink) RequestServed(fn string, s metrics.Sample, _ time.Duration) {
+	if f, ok := r.lookup(fn); ok {
+		f.recordServe(s)
+	}
+}
+
+func (r *recorderSink) RequestDropped(fn string, _ time.Duration) {
+	if f, ok := r.lookup(fn); ok {
+		f.recordDrop()
+	}
 }
 
 // Close stops all function instances and releases their resources.
@@ -206,6 +264,8 @@ func (s *Server) deploy(e core.RegistryEntry) error {
 		srv:      s,
 		model:    m,
 		plan:     plan,
+		batch:    runtime.BatchPolicy{SLO: e.SLO},
+		rate:     runtime.NewRateEstimator(s.cfg.RateWindow),
 		recorder: metrics.NewLatencyRecorder(e.SLO),
 	}
 	s.mu.Lock()

@@ -1,0 +1,95 @@
+package runtime
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRateEstimator(t *testing.T) {
+	re := NewRateEstimator(10 * time.Second)
+	// 100 arrivals over 10 seconds = 10 RPS.
+	for i := 0; i < 100; i++ {
+		re.Observe(time.Duration(i) * 100 * time.Millisecond)
+	}
+	got := re.Estimate(10 * time.Second)
+	if got < 9 || got > 11 {
+		t.Fatalf("estimate = %v, want ~10", got)
+	}
+	// After 20s of silence the window is empty.
+	if got := re.Estimate(30 * time.Second); got != 0 {
+		t.Fatalf("stale estimate = %v, want 0", got)
+	}
+}
+
+func TestRateEstimatorEarlyWindow(t *testing.T) {
+	re := NewRateEstimator(10 * time.Second)
+	// 20 arrivals in the first second: the estimate must use the elapsed
+	// time, not the full window (otherwise early rates are 10x low).
+	for i := 0; i < 20; i++ {
+		re.Observe(time.Duration(i) * 50 * time.Millisecond)
+	}
+	got := re.Estimate(time.Second)
+	if got < 15 || got > 25 {
+		t.Fatalf("early estimate = %v, want ~20", got)
+	}
+}
+
+// TestRateEstimatorIdleGapExpiry pins the fix for the gateway's former
+// stale-rate bug: its 128-entry arrival log never expired, so the first
+// request after an idle gap reported the pre-idle rate. The shared
+// estimator must instead count only arrivals inside the window, making
+// the first post-idle estimate reflect the gap.
+func TestRateEstimatorIdleGapExpiry(t *testing.T) {
+	re := NewRateEstimator(10 * time.Second)
+	// A hot minute at 200 RPS...
+	for i := 0; i < 12000; i++ {
+		re.Observe(time.Duration(i) * 5 * time.Millisecond)
+	}
+	if got := re.Estimate(60 * time.Second); got < 180 {
+		t.Fatalf("hot estimate = %v, want ~200", got)
+	}
+	// ...then a 5-minute idle gap, then a single arrival. The old
+	// fixed-size log would still report ~200 RPS here.
+	idleEnd := 60*time.Second + 5*time.Minute
+	re.Observe(idleEnd)
+	if got := re.Estimate(idleEnd); got > 1 {
+		t.Fatalf("post-idle estimate = %v RPS, want <= 1 (stale-rate bug)", got)
+	}
+}
+
+// TestRateEstimatorBurst checks the short-horizon estimate that reactive
+// scale-out uses: a sudden surge must read at its instantaneous rate
+// even though the sliding-window average barely moves.
+func TestRateEstimatorBurst(t *testing.T) {
+	re := NewRateEstimator(10 * time.Second)
+	// Trickle for 8 seconds (1 RPS), then 40 arrivals in half a second.
+	for i := 0; i < 8; i++ {
+		re.Observe(time.Duration(i) * time.Second)
+	}
+	burstStart := 8 * time.Second
+	for i := 0; i < 40; i++ {
+		re.Observe(burstStart + time.Duration(i)*12*time.Millisecond)
+	}
+	now := burstStart + 500*time.Millisecond
+	if got := re.Estimate(now); got > 10 {
+		t.Fatalf("windowed estimate = %v, want < 10 (average hides the burst)", got)
+	}
+	// Burst covers the current 0.5s plus the previous 1s bucket: 41
+	// arrivals over 1.5s ≈ 27 RPS.
+	if got := re.Burst(now); got < 20 || got > 90 {
+		t.Fatalf("burst estimate = %v, want surge-scale (20..90)", got)
+	}
+	// A quiet period decays Burst back to zero.
+	if got := re.Burst(now + 10*time.Second); got != 0 {
+		t.Fatalf("post-burst estimate = %v, want 0", got)
+	}
+}
+
+func TestRateEstimatorSubSecondWindow(t *testing.T) {
+	// Windows under a second clamp to one bucket rather than panicking.
+	re := NewRateEstimator(100 * time.Millisecond)
+	re.Observe(10 * time.Millisecond)
+	if got := re.Estimate(50 * time.Millisecond); got <= 0 {
+		t.Fatalf("estimate = %v, want > 0", got)
+	}
+}

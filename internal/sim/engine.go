@@ -1,0 +1,373 @@
+package sim
+
+// engine.go owns Engine construction, function registration, the Run
+// loop (arrival streams, autoscaler ticks, failure injection, draining)
+// and result aggregation. Request- and instance-lifecycle mechanics live
+// in lifecycle.go and instances.go.
+
+import (
+	"math/rand"
+	"time"
+
+	"github.com/tanklab/infless/internal/cluster"
+	"github.com/tanklab/infless/internal/coldstart"
+	"github.com/tanklab/infless/internal/metrics"
+	"github.com/tanklab/infless/internal/perf"
+	"github.com/tanklab/infless/internal/runtime"
+	"github.com/tanklab/infless/internal/scheduler"
+	"github.com/tanklab/infless/internal/simclock"
+	"github.com/tanklab/infless/internal/workload"
+)
+
+// FunctionState is the engine-side record of one function.
+type FunctionState struct {
+	Spec     FunctionSpec
+	Recorder *metrics.LatencyRecorder
+	Pending  []*Request
+	Policy   coldstart.Policy
+
+	// Stats for Figures 13/14/16, maintained by the engine's built-in
+	// metrics observer (observers.go).
+	Launches     int
+	ColdLaunches int
+	BatchServed  map[int]uint64  // requests served, by drained batch size
+	ConfigCount  map[string]int  // instances launched, by (b,c,g) label
+	plan         *scheduler.Plan // lazily built by controllers that need it
+
+	// ChainRecorder tracks end-to-end chain latency for requests whose
+	// chain terminates at this function (nil when the function is not a
+	// chain tail). The chain's end-to-end SLO is the tail's recorder SLO.
+	ChainRecorder *metrics.LatencyRecorder
+	forwardTo     *FunctionState
+
+	pool           runtime.Pool[*Instance]
+	batch          runtime.BatchPolicy
+	rate           *runtime.RateEstimator
+	lastArrival    time.Duration
+	haveArrival    bool
+	prewarmEv      *simclock.Event
+	prewarmedUntil time.Duration
+	ctrlState      any // controller-private per-function state
+}
+
+// Instances returns the function's live instances (the pool's member
+// slice; callers must not mutate it).
+func (f *FunctionState) Instances() []*Instance { return f.pool.Members() }
+
+// PendingOldest returns the arrival time of the oldest pending request.
+func (f *FunctionState) PendingOldest() (time.Duration, bool) {
+	if len(f.Pending) == 0 {
+		return 0, false
+	}
+	return f.Pending[0].Arrive, true
+}
+
+// RateEstimate returns the function's observed arrival rate (RPS) over
+// the engine's rate window.
+func (f *FunctionState) RateEstimate(now time.Duration) float64 {
+	return f.rate.Estimate(now)
+}
+
+// CtrlState returns controller-private state attached to the function.
+func (f *FunctionState) CtrlState() any { return f.ctrlState }
+
+// SetCtrlState attaches controller-private state to the function.
+func (f *FunctionState) SetCtrlState(v any) { f.ctrlState = v }
+
+// Plan returns the function's scheduler plan, building it on first use
+// with the supplied predictor and options.
+func (f *FunctionState) Plan(pred scheduler.Predictor, opts scheduler.Options) *scheduler.Plan {
+	if f.plan == nil {
+		f.plan = scheduler.BuildPlan(scheduler.Function{
+			Name:  f.Spec.Name,
+			Model: f.Spec.Model,
+			SLO:   f.Spec.SLO,
+		}, pred, opts)
+	}
+	return f.plan
+}
+
+// Engine runs one system against one workload on one cluster.
+type Engine struct {
+	cfg    Config
+	ctrl   Controller
+	clock  *simclock.Clock
+	rng    *rand.Rand
+	fns    []*FunctionState
+	byName map[string]*FunctionState
+
+	// Lifecycle events fan out to these observers; the engine's own
+	// metric sinks are plain runtime.Observer implementations, appended
+	// first so external observers see state after the built-ins update.
+	obs       runtime.Observers
+	resources *resourceObserver
+	provision *provisionObserver
+}
+
+// New creates an engine for the controller and configuration.
+func New(ctrl Controller, cfg Config) *Engine {
+	cfg.defaults()
+	e := &Engine{
+		cfg:    cfg,
+		ctrl:   ctrl,
+		clock:  simclock.New(),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		byName: map[string]*FunctionState{},
+	}
+	e.resources = &resourceObserver{}
+	e.provision = &provisionObserver{}
+	e.obs = runtime.Observers{&metricsObserver{e: e, warmup: cfg.Warmup}, e.resources, e.provision}
+	return e
+}
+
+// Observe attaches an additional lifecycle observer; events fire from
+// the engine's single event loop, after the built-in metric sinks.
+func (e *Engine) Observe(o runtime.Observer) { e.obs = append(e.obs, o) }
+
+// AddFunction registers a function before Run.
+func (e *Engine) AddFunction(spec FunctionSpec) *FunctionState {
+	if spec.Model == nil {
+		panic("sim: function without model")
+	}
+	if spec.SLO <= 0 {
+		panic("sim: function without SLO")
+	}
+	if spec.MaxBatch == 0 {
+		spec.MaxBatch = spec.Model.MaxBatch
+	}
+	f := &FunctionState{
+		Spec:        spec,
+		Recorder:    metrics.NewLatencyRecorder(spec.SLO),
+		Policy:      spec.Policy,
+		BatchServed: map[int]uint64{},
+		ConfigCount: map[string]int{},
+		batch:       runtime.BatchPolicy{SLO: spec.SLO},
+		rate:        runtime.NewRateEstimator(e.cfg.RateWindow),
+	}
+	e.fns = append(e.fns, f)
+	e.byName[spec.Name] = f
+	return f
+}
+
+// Functions returns the registered functions.
+func (e *Engine) Functions() []*FunctionState { return e.fns }
+
+// Cluster returns the engine's cluster.
+func (e *Engine) Cluster() *cluster.Cluster { return e.cfg.Cluster }
+
+// Now returns current virtual time.
+func (e *Engine) Now() time.Duration { return e.clock.Now() }
+
+// Rng returns the engine's deterministic random source.
+func (e *Engine) Rng() *rand.Rand { return e.rng }
+
+// Config returns the engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// allocationChanged publishes the cluster's current allocation to the
+// observers (resource integration, provisioning series).
+func (e *Engine) allocationChanged() {
+	e.obs.AllocationChanged(e.cfg.Cluster.TotalAllocated(), e.clock.Now())
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	System    string
+	Duration  time.Duration
+	Functions []*FunctionState
+
+	ResourceSeconds    float64 // beta-weighted resource-time integral
+	CPUCoreSeconds     float64
+	GPUUnitSeconds     float64
+	ProvisionTimes     []time.Duration
+	ProvisionSeries    []perf.Resources
+	FinalFragmentation float64
+}
+
+// Served sums completed requests over all functions.
+func (r *Result) Served() uint64 {
+	var n uint64
+	for _, f := range r.Functions {
+		n += f.Recorder.Served()
+	}
+	return n
+}
+
+// Dropped sums dropped requests over all functions.
+func (r *Result) Dropped() uint64 {
+	var n uint64
+	for _, f := range r.Functions {
+		n += f.Recorder.Dropped()
+	}
+	return n
+}
+
+// Throughput returns served requests per second of simulated time.
+func (r *Result) Throughput() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Served()) / r.Duration.Seconds()
+}
+
+// ThroughputPerResource is the paper's normalized throughput metric:
+// served requests per beta-weighted resource-second.
+func (r *Result) ThroughputPerResource() float64 {
+	if r.ResourceSeconds <= 0 {
+		return 0
+	}
+	return float64(r.Served()) / r.ResourceSeconds
+}
+
+// ViolationRate is the overall SLO violation rate across functions.
+func (r *Result) ViolationRate() float64 {
+	var bad, all float64
+	for _, f := range r.Functions {
+		n := float64(f.Recorder.Served() + f.Recorder.Dropped())
+		bad += f.Recorder.ViolationRate() * n
+		all += n
+	}
+	if all == 0 {
+		return 0
+	}
+	return bad / all
+}
+
+// Run executes the simulation and returns the results.
+func (e *Engine) Run() *Result {
+	e.resolveChains()
+	e.ctrl.Init(e)
+	e.allocationChanged()
+
+	// Arrival streams: one self-rescheduling chain per function keeps the
+	// event heap small regardless of trace length.
+	for _, f := range e.fns {
+		if f.Spec.Trace == nil {
+			continue
+		}
+		stream := workload.NewStream(f.Spec.Trace, e.cfg.Duration, rand.New(rand.NewSource(e.cfg.Seed+int64(len(f.Spec.Name)))))
+		e.scheduleNextArrival(f, stream)
+	}
+	// Failure injection.
+	for _, fail := range e.cfg.Failures {
+		fail := fail
+		e.clock.ScheduleAt(fail.At, func() { e.failServer(fail.Server) })
+		if fail.Duration > 0 {
+			e.clock.ScheduleAt(fail.At+fail.Duration, func() {
+				e.cfg.Cluster.SetDown(fail.Server, false)
+			})
+		}
+	}
+
+	// Autoscaler ticks.
+	var tick func()
+	tick = func() {
+		for _, f := range e.fns {
+			e.expirePending(f)
+			e.ctrl.Tick(e, f)
+		}
+		if e.clock.Now()+e.cfg.ScaleInterval <= e.cfg.Duration {
+			e.clock.ScheduleAfter(e.cfg.ScaleInterval, tick)
+		}
+	}
+	e.clock.ScheduleAfter(e.cfg.ScaleInterval, tick)
+
+	if e.cfg.ProvisionSampleEvery > 0 {
+		var sample func()
+		sample = func() {
+			e.provision.sample(e.clock.Now())
+			if e.clock.Now()+e.cfg.ProvisionSampleEvery <= e.cfg.Duration {
+				e.clock.ScheduleAfter(e.cfg.ProvisionSampleEvery, sample)
+			}
+		}
+		e.clock.ScheduleAt(0, sample)
+	}
+
+	e.clock.RunUntil(e.cfg.Duration)
+
+	// Drain: unfinished pending requests are drops.
+	for _, f := range e.fns {
+		for range f.Pending {
+			e.dropRequest(f)
+		}
+		f.Pending = nil
+	}
+	e.resources.finish(e.cfg.Duration)
+
+	return &Result{
+		System:             e.ctrl.Name(),
+		Duration:           e.cfg.Duration,
+		Functions:          e.fns,
+		ResourceSeconds:    e.resources.integ.WeightedSeconds(),
+		CPUCoreSeconds:     e.resources.integ.CPUCoreSeconds(),
+		GPUUnitSeconds:     e.resources.integ.GPUUnitSeconds(),
+		ProvisionTimes:     e.provision.times,
+		ProvisionSeries:    e.provision.series,
+		FinalFragmentation: e.cfg.Cluster.FragmentationRatio(),
+	}
+}
+
+func (e *Engine) scheduleNextArrival(f *FunctionState, stream *workload.Stream) {
+	at, ok := stream.Next()
+	if !ok {
+		return
+	}
+	if at < e.clock.Now() {
+		at = e.clock.Now()
+	}
+	e.clock.ScheduleAt(at, func() {
+		e.onArrival(f)
+		e.scheduleNextArrival(f, stream)
+	})
+}
+
+// resolveChains links ForwardTo names to function states and attaches
+// end-to-end recorders to chain tails.
+func (e *Engine) resolveChains() {
+	isTarget := map[*FunctionState]bool{}
+	for _, f := range e.fns {
+		if f.Spec.ForwardTo == "" {
+			continue
+		}
+		next, ok := e.byName[f.Spec.ForwardTo]
+		if !ok {
+			panic("sim: chain target " + f.Spec.ForwardTo + " not deployed")
+		}
+		if next == f {
+			panic("sim: function cannot chain to itself")
+		}
+		f.forwardTo = next
+		isTarget[next] = true
+	}
+	for _, f := range e.fns {
+		if isTarget[f] && f.forwardTo == nil {
+			// Chain tail: per-stage SLOs are controller business; the
+			// end-to-end target is declared on the tail, defaulting to the
+			// sum of the stage SLOs upstream.
+			slo := f.Spec.ChainSLO
+			if slo == 0 {
+				slo = e.chainSLO(f)
+			}
+			f.ChainRecorder = metrics.NewLatencyRecorder(slo)
+		}
+	}
+}
+
+// chainSLO sums SLOs along the (single-path) chain ending at tail.
+func (e *Engine) chainSLO(tail *FunctionState) time.Duration {
+	total := tail.Spec.SLO
+	for {
+		var prev *FunctionState
+		for _, f := range e.fns {
+			if f.forwardTo == tail {
+				prev = f
+				break
+			}
+		}
+		if prev == nil {
+			return total
+		}
+		total += prev.Spec.SLO
+		tail = prev
+	}
+}

@@ -33,7 +33,7 @@ func (m *manualController) Init(e *Engine) {
 }
 
 func (m *manualController) Route(e *Engine, f *FunctionState, r *Request) *Instance {
-	for _, inst := range f.Instances {
+	for _, inst := range f.Instances() {
 		if !inst.Draining && inst.CanAccept() {
 			return inst
 		}
@@ -271,35 +271,6 @@ func TestEnginePrewarmSkipsColdStart(t *testing.T) {
 	// ColdLaunches accounting below.
 	if f.Launches == 0 {
 		t.Fatal("no launches")
-	}
-}
-
-func TestRateEstimator(t *testing.T) {
-	re := newRateEstimator(10 * time.Second)
-	// 100 arrivals over 10 seconds = 10 RPS.
-	for i := 0; i < 100; i++ {
-		re.observe(time.Duration(i) * 100 * time.Millisecond)
-	}
-	got := re.estimate(10 * time.Second)
-	if got < 9 || got > 11 {
-		t.Fatalf("estimate = %v, want ~10", got)
-	}
-	// After 20s of silence the window is empty.
-	if got := re.estimate(30 * time.Second); got != 0 {
-		t.Fatalf("stale estimate = %v, want 0", got)
-	}
-}
-
-func TestRateEstimatorEarlyWindow(t *testing.T) {
-	re := newRateEstimator(10 * time.Second)
-	// 20 arrivals in the first second: the estimate must use the elapsed
-	// time, not the full window (otherwise early rates are 10x low).
-	for i := 0; i < 20; i++ {
-		re.observe(time.Duration(i) * 50 * time.Millisecond)
-	}
-	got := re.estimate(time.Second)
-	if got < 15 || got > 25 {
-		t.Fatalf("early estimate = %v, want ~20", got)
 	}
 }
 

@@ -36,7 +36,7 @@ func TestFailoverReschedules(t *testing.T) {
 		t.Fatalf("served %d of ~%.0f after failover", res.Served(), offered)
 	}
 	// No instance may remain on the failed server.
-	for _, inst := range f.Instances {
+	for _, inst := range f.Instances() {
 		if inst.Server == 0 {
 			t.Fatalf("instance still on failed server 0")
 		}

@@ -1,0 +1,212 @@
+package sim
+
+// instances.go is the instance lifecycle: launch (cold or pre-warmed) →
+// warm serving → idle keep-alive → reclaim, plus server-failure fallout
+// and function pre-warm windows. Pool membership, dispatch credits and
+// keep-alive policy glue come from the shared internal/runtime layer.
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/tanklab/infless/internal/batching"
+	"github.com/tanklab/infless/internal/coldstart"
+	"github.com/tanklab/infless/internal/perf"
+	"github.com/tanklab/infless/internal/runtime"
+	"github.com/tanklab/infless/internal/scheduler"
+	"github.com/tanklab/infless/internal/simclock"
+)
+
+// Instance is a running (or starting) function instance.
+type Instance struct {
+	ID       int
+	Fn       *FunctionState
+	Cand     scheduler.Candidate
+	Server   int
+	ReadyAt  time.Duration // cold start completes at this time
+	Ready    bool
+	Busy     bool
+	Draining bool
+	Queue    *batching.Queue[*Request]
+	Rate     float64 // dispatch weight (INFless non-uniform dispatching)
+	credit   runtime.Credit
+
+	idleSince time.Duration
+	reclaimEv *simclock.Event
+	timeoutEv *simclock.Event
+	lostAt    time.Duration // set when the hosting server failed mid-batch
+	reclaimed bool
+}
+
+// CanAccept reports whether the instance's batch queue has room.
+func (inst *Instance) CanAccept() bool {
+	return inst.Queue.Len() < 2*inst.Cand.B
+}
+
+// Credit returns the instance's dispatch credit (see internal/core).
+func (inst *Instance) Credit() float64 { return inst.credit.Balance() }
+
+// AddCredit adjusts the dispatch credit, clamped from above by cap.
+func (inst *Instance) AddCredit(delta, cap float64) { inst.credit.Add(delta, cap) }
+
+// Launch starts a new instance of f with candidate configuration cand on
+// server. It returns nil when the cluster cannot host the instance.
+func (e *Engine) Launch(f *FunctionState, cand scheduler.Candidate, server int) *Instance {
+	if err := e.cfg.Cluster.Allocate(server, cand.Res, f.Spec.Model.MemoryMB); err != nil {
+		return nil
+	}
+	return e.launchAllocated(f, cand, server)
+}
+
+// LaunchPlaced starts an instance whose resources were already reserved
+// by scheduler.Plan.Schedule (which allocates as it packs).
+func (e *Engine) LaunchPlaced(f *FunctionState, d scheduler.Decision) *Instance {
+	return e.launchAllocated(f, d.Candidate, d.Server)
+}
+
+func (e *Engine) launchAllocated(f *FunctionState, cand scheduler.Candidate, server int) *Instance {
+	now := e.clock.Now()
+	e.allocationChanged()
+
+	coldDur := perf.ColdStartTime(f.Spec.Model.MemoryMB)
+	cold := now >= f.prewarmedUntil
+	if !cold {
+		coldDur = e.cfg.WarmStartTime
+	}
+	f.ConfigCount[fmt.Sprintf("(%d,%d,%d)", cand.B, cand.Res.CPU, cand.Res.GPU)]++
+
+	inst := &Instance{
+		ID:      f.pool.NextID(),
+		Fn:      f,
+		Cand:    cand,
+		Server:  server,
+		ReadyAt: now + coldDur,
+		Queue:   batching.NewQueue[*Request](cand.B, f.batch.Timeout(cand.TExec)),
+		Rate:    cand.Bounds.RUp,
+	}
+	f.pool.Add(inst)
+	e.obs.InstanceLaunched(f.Spec.Name, inst.ID, cold, coldDur, now)
+	e.clock.ScheduleAfter(coldDur, func() {
+		inst.Ready = true
+		if inst.Queue.Len() > 0 {
+			e.trySubmit(inst)
+			e.armTimeout(inst)
+		} else {
+			e.scheduleReclaim(inst)
+		}
+	})
+	return inst
+}
+
+// Retire marks an instance as draining: it receives no new requests and
+// is reclaimed once its queue empties.
+func (e *Engine) Retire(inst *Instance) {
+	inst.Draining = true
+	if inst.Ready && !inst.Busy && inst.Queue.Len() == 0 {
+		e.Reclaim(inst)
+	}
+}
+
+// Reclaim releases the instance's resources and removes it from its
+// function. Queued requests (if any) are dropped. Reclaiming twice is a
+// no-op (failure injection can race with keep-alive expiry).
+func (e *Engine) Reclaim(inst *Instance) {
+	if inst.reclaimed {
+		return
+	}
+	inst.reclaimed = true
+	now := e.clock.Now()
+	f := inst.Fn
+	for {
+		batch, _, ok := inst.Queue.Drain(now)
+		if !ok {
+			break
+		}
+		for range batch {
+			e.dropRequest(f)
+		}
+	}
+	e.cancelReclaim(inst)
+	if inst.timeoutEv != nil {
+		inst.timeoutEv.Cancel()
+		inst.timeoutEv = nil
+	}
+	e.cfg.Cluster.Release(inst.Server, inst.Cand.Res, f.Spec.Model.MemoryMB)
+	f.pool.Remove(inst)
+	e.obs.InstanceReclaimed(f.Spec.Name, inst.ID, now)
+	e.allocationChanged()
+	if f.pool.Len() == 0 {
+		e.schedulePrewarm(f)
+	}
+}
+
+// scheduleReclaim arms the keep-alive timer for an idle instance.
+func (e *Engine) scheduleReclaim(inst *Instance) {
+	now := e.clock.Now()
+	inst.idleSince = now
+	keep := runtime.KeepAlive(inst.Fn.Policy, now)
+	e.cancelReclaim(inst)
+	inst.reclaimEv = e.clock.ScheduleAfter(keep, func() {
+		inst.reclaimEv = nil
+		if inst.Ready && !inst.Busy && inst.Queue.Len() == 0 {
+			e.Reclaim(inst)
+		}
+	})
+}
+
+func (e *Engine) cancelReclaim(inst *Instance) {
+	if inst.reclaimEv != nil {
+		inst.reclaimEv.Cancel()
+		inst.reclaimEv = nil
+	}
+}
+
+// failServer marks a server down and kills every instance hosted on it:
+// in-flight batches are lost (their requests drop), queued requests drop,
+// and the next autoscaler tick re-schedules the lost capacity elsewhere.
+func (e *Engine) failServer(id int) {
+	e.cfg.Cluster.SetDown(id, true)
+	for _, f := range e.fns {
+		// Collect first: Reclaim mutates the pool.
+		var doomed []*Instance
+		for _, inst := range f.Instances() {
+			if inst.Server == id {
+				doomed = append(doomed, inst)
+			}
+		}
+		for _, inst := range doomed {
+			if inst.Busy {
+				// The executing batch dies with the server; its requests
+				// never complete. Mark the instance free so Reclaim's
+				// bookkeeping stays consistent; completion events for the
+				// lost batch are disarmed via the lostAt marker.
+				inst.Busy = false
+				inst.lostAt = e.clock.Now()
+			}
+			e.Reclaim(inst)
+		}
+	}
+}
+
+// schedulePrewarm arms the function's pre-warming window after it went
+// fully idle: the image is re-loaded `prewarm` later and stays available
+// for `keepalive`, so launches within that window skip the cold start.
+// Fixed keep-alive policies never pre-warm — once the instance is gone,
+// the next launch is cold (the behavior of OpenFaaS and BATCH).
+func (e *Engine) schedulePrewarm(f *FunctionState) {
+	if f.Policy == nil {
+		return
+	}
+	if _, fixed := f.Policy.(coldstart.Fixed); fixed {
+		return
+	}
+	now := e.clock.Now()
+	prewarm, keepalive := f.Policy.Windows(now)
+	if f.prewarmEv != nil {
+		f.prewarmEv.Cancel()
+	}
+	f.prewarmEv = e.clock.ScheduleAfter(prewarm, func() {
+		f.prewarmEv = nil
+		f.prewarmedUntil = e.clock.Now() + keepalive
+	})
+}

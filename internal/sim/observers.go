@@ -1,0 +1,95 @@
+package sim
+
+// observers.go holds the engine's built-in runtime.Observer sinks. The
+// lifecycle code in lifecycle.go/instances.go only *emits* events; how
+// they are recorded — per-function latency recorders, batch-size
+// distributions, launch counters, resource-time integration and the
+// provisioning series — is observer business, so future recorders attach
+// via Engine.Observe without touching the engine.
+
+import (
+	"time"
+
+	"github.com/tanklab/infless/internal/metrics"
+	"github.com/tanklab/infless/internal/perf"
+	"github.com/tanklab/infless/internal/runtime"
+)
+
+// metricsObserver feeds the per-function recorders and figure counters.
+// Samples and drops inside the warmup window are excluded from the
+// latency recorders (steady-state metrics must not be polluted by the
+// initial scale-from-zero ramp); launch and batch-size counters always
+// accumulate, as before the observer split.
+type metricsObserver struct {
+	runtime.NopObserver
+	e      *Engine
+	warmup time.Duration
+}
+
+func (m *metricsObserver) BatchSubmitted(fn string, _, size int, _ time.Duration) {
+	m.e.byName[fn].BatchServed[size] += uint64(size)
+}
+
+func (m *metricsObserver) RequestServed(fn string, s metrics.Sample, now time.Duration) {
+	if now < m.warmup {
+		return
+	}
+	m.e.byName[fn].Recorder.Observe(s)
+}
+
+func (m *metricsObserver) RequestDropped(fn string, now time.Duration) {
+	if now < m.warmup {
+		return
+	}
+	f := m.e.byName[fn]
+	f.Recorder.Drop()
+	// A dropped chain-stage request also never answers the chain's user:
+	// charge the tail's end-to-end recorder.
+	tail := f
+	for tail.forwardTo != nil {
+		tail = tail.forwardTo
+	}
+	if tail.ChainRecorder != nil {
+		tail.ChainRecorder.Drop()
+	}
+}
+
+func (m *metricsObserver) InstanceLaunched(fn string, _ int, cold bool, _, _ time.Duration) {
+	f := m.e.byName[fn]
+	f.Launches++
+	if cold {
+		f.ColdLaunches++
+	}
+}
+
+// resourceObserver integrates allocation over time (the denominator of
+// throughput-per-resource, Figures 12/18).
+type resourceObserver struct {
+	runtime.NopObserver
+	integ metrics.ResourceIntegrator
+}
+
+func (r *resourceObserver) AllocationChanged(alloc perf.Resources, now time.Duration) {
+	r.integ.Update(now, alloc)
+}
+
+func (r *resourceObserver) finish(end time.Duration) { r.integ.Finish(end) }
+
+// provisionObserver tracks the current allocation from change events and
+// appends one point per engine-scheduled sample tick (Figure 14's
+// provisioning-over-time series).
+type provisionObserver struct {
+	runtime.NopObserver
+	cur    perf.Resources
+	times  []time.Duration
+	series []perf.Resources
+}
+
+func (p *provisionObserver) AllocationChanged(alloc perf.Resources, _ time.Duration) {
+	p.cur = alloc
+}
+
+func (p *provisionObserver) sample(now time.Duration) {
+	p.times = append(p.times, now)
+	p.series = append(p.series, p.cur)
+}

@@ -6,21 +6,27 @@
 // their Controller, which decides routing, instance configuration and
 // scaling — mirroring how the paper's large-scale simulation "runs
 // INFless's real code and scheduling logic against simulated machines".
+//
+// The policy side of both lifecycles — batch-timeout derivation, Eq. 1
+// admission, arrival-rate estimation, instance-pool bookkeeping, and the
+// lifecycle-observer hooks — lives in internal/runtime and is shared
+// verbatim with the wall-clock gateway (internal/gateway), so the code
+// this engine validates is the code the live serving path runs. The
+// engine is organized as:
+//
+//	sim.go        controller interfaces, run configuration, function specs
+//	engine.go     Engine construction, the Run loop, results, chains
+//	lifecycle.go  request lifecycle: arrival → route → enqueue → batch → complete
+//	instances.go  instance lifecycle: launch → warm → idle → reclaim, failures
+//	observers.go  built-in runtime.Observer sinks (recorders, provisioning)
 package sim
 
 import (
-	"fmt"
-	"math/rand"
 	"time"
 
-	"github.com/tanklab/infless/internal/batching"
 	"github.com/tanklab/infless/internal/cluster"
 	"github.com/tanklab/infless/internal/coldstart"
-	"github.com/tanklab/infless/internal/metrics"
 	"github.com/tanklab/infless/internal/model"
-	"github.com/tanklab/infless/internal/perf"
-	"github.com/tanklab/infless/internal/scheduler"
-	"github.com/tanklab/infless/internal/simclock"
 	"github.com/tanklab/infless/internal/workload"
 )
 
@@ -157,781 +163,4 @@ type Request struct {
 	// ChainStart is the arrival time at the first stage of an inference
 	// chain (equal to Arrive for unchained requests and chain heads).
 	ChainStart time.Duration
-}
-
-// Instance is a running (or starting) function instance.
-type Instance struct {
-	ID       int
-	Fn       *FunctionState
-	Cand     scheduler.Candidate
-	Server   int
-	ReadyAt  time.Duration // cold start completes at this time
-	Ready    bool
-	Busy     bool
-	Draining bool
-	Queue    *batching.Queue[*Request]
-	Rate     float64 // dispatch weight (INFless non-uniform dispatching)
-	credit   float64
-
-	idleSince time.Duration
-	reclaimEv *simclock.Event
-	timeoutEv *simclock.Event
-	lostAt    time.Duration // set when the hosting server failed mid-batch
-	reclaimed bool
-}
-
-// CanAccept reports whether the instance's batch queue has room.
-func (inst *Instance) CanAccept() bool {
-	return inst.Queue.Len() < 2*inst.Cand.B
-}
-
-// Credit returns the instance's dispatch credit (see internal/core).
-func (inst *Instance) Credit() float64 { return inst.credit }
-
-// AddCredit adjusts the dispatch credit, clamped from above by cap.
-func (inst *Instance) AddCredit(delta, cap float64) {
-	inst.credit += delta
-	if inst.credit > cap {
-		inst.credit = cap
-	}
-}
-
-// FunctionState is the engine-side record of one function.
-type FunctionState struct {
-	Spec      FunctionSpec
-	Recorder  *metrics.LatencyRecorder
-	Instances []*Instance
-	Pending   []*Request
-	Policy    coldstart.Policy
-
-	// Stats for Figures 13/14/16.
-	Launches     int
-	ColdLaunches int
-	BatchServed  map[int]uint64  // requests served, by drained batch size
-	ConfigCount  map[string]int  // instances launched, by (b,c,g) label
-	plan         *scheduler.Plan // lazily built by controllers that need it
-
-	// ChainRecorder tracks end-to-end chain latency for requests whose
-	// chain terminates at this function (nil when the function is not a
-	// chain tail). The chain's end-to-end SLO is the tail's recorder SLO.
-	ChainRecorder *metrics.LatencyRecorder
-	forwardTo     *FunctionState
-
-	lastArrival    time.Duration
-	haveArrival    bool
-	prewarmEv      *simclock.Event
-	prewarmedUntil time.Duration
-	rate           *rateEstimator
-	creditsAt      time.Duration
-	ctrlState      any // controller-private per-function state
-}
-
-// PendingOldest returns the arrival time of the oldest pending request.
-func (f *FunctionState) PendingOldest() (time.Duration, bool) {
-	if len(f.Pending) == 0 {
-		return 0, false
-	}
-	return f.Pending[0].Arrive, true
-}
-
-// RateEstimate returns the function's observed arrival rate (RPS) over
-// the engine's rate window.
-func (f *FunctionState) RateEstimate(now time.Duration) float64 {
-	return f.rate.estimate(now)
-}
-
-// CtrlState returns controller-private state attached to the function.
-func (f *FunctionState) CtrlState() any { return f.ctrlState }
-
-// SetCtrlState attaches controller-private state to the function.
-func (f *FunctionState) SetCtrlState(v any) { f.ctrlState = v }
-
-// Plan returns the function's scheduler plan, building it on first use
-// with the supplied predictor and options.
-func (f *FunctionState) Plan(pred scheduler.Predictor, opts scheduler.Options) *scheduler.Plan {
-	if f.plan == nil {
-		f.plan = scheduler.BuildPlan(scheduler.Function{
-			Name:  f.Spec.Name,
-			Model: f.Spec.Model,
-			SLO:   f.Spec.SLO,
-		}, pred, opts)
-	}
-	return f.plan
-}
-
-// Engine runs one system against one workload on one cluster.
-type Engine struct {
-	cfg    Config
-	ctrl   Controller
-	clock  *simclock.Clock
-	rng    *rand.Rand
-	fns    []*FunctionState
-	nextID int
-
-	resInt     metrics.ResourceIntegrator
-	provision  []perf.Resources
-	provisionT []time.Duration
-}
-
-// New creates an engine for the controller and configuration.
-func New(ctrl Controller, cfg Config) *Engine {
-	cfg.defaults()
-	return &Engine{
-		cfg:   cfg,
-		ctrl:  ctrl,
-		clock: simclock.New(),
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
-	}
-}
-
-// AddFunction registers a function before Run.
-func (e *Engine) AddFunction(spec FunctionSpec) *FunctionState {
-	if spec.Model == nil {
-		panic("sim: function without model")
-	}
-	if spec.SLO <= 0 {
-		panic("sim: function without SLO")
-	}
-	if spec.MaxBatch == 0 {
-		spec.MaxBatch = spec.Model.MaxBatch
-	}
-	f := &FunctionState{
-		Spec:        spec,
-		Recorder:    metrics.NewLatencyRecorder(spec.SLO),
-		Policy:      spec.Policy,
-		BatchServed: map[int]uint64{},
-		ConfigCount: map[string]int{},
-		rate:        newRateEstimator(e.cfg.RateWindow),
-	}
-	e.fns = append(e.fns, f)
-	return f
-}
-
-// Functions returns the registered functions.
-func (e *Engine) Functions() []*FunctionState { return e.fns }
-
-// Cluster returns the engine's cluster.
-func (e *Engine) Cluster() *cluster.Cluster { return e.cfg.Cluster }
-
-// Now returns current virtual time.
-func (e *Engine) Now() time.Duration { return e.clock.Now() }
-
-// Rng returns the engine's deterministic random source.
-func (e *Engine) Rng() *rand.Rand { return e.rng }
-
-// Config returns the engine configuration.
-func (e *Engine) Config() Config { return e.cfg }
-
-// Result summarizes a completed run.
-type Result struct {
-	System    string
-	Duration  time.Duration
-	Functions []*FunctionState
-
-	ResourceSeconds    float64 // beta-weighted resource-time integral
-	CPUCoreSeconds     float64
-	GPUUnitSeconds     float64
-	ProvisionTimes     []time.Duration
-	ProvisionSeries    []perf.Resources
-	FinalFragmentation float64
-}
-
-// Served sums completed requests over all functions.
-func (r *Result) Served() uint64 {
-	var n uint64
-	for _, f := range r.Functions {
-		n += f.Recorder.Served()
-	}
-	return n
-}
-
-// Dropped sums dropped requests over all functions.
-func (r *Result) Dropped() uint64 {
-	var n uint64
-	for _, f := range r.Functions {
-		n += f.Recorder.Dropped()
-	}
-	return n
-}
-
-// Throughput returns served requests per second of simulated time.
-func (r *Result) Throughput() float64 {
-	if r.Duration <= 0 {
-		return 0
-	}
-	return float64(r.Served()) / r.Duration.Seconds()
-}
-
-// ThroughputPerResource is the paper's normalized throughput metric:
-// served requests per beta-weighted resource-second.
-func (r *Result) ThroughputPerResource() float64 {
-	if r.ResourceSeconds <= 0 {
-		return 0
-	}
-	return float64(r.Served()) / r.ResourceSeconds
-}
-
-// ViolationRate is the overall SLO violation rate across functions.
-func (r *Result) ViolationRate() float64 {
-	var bad, all float64
-	for _, f := range r.Functions {
-		n := float64(f.Recorder.Served() + f.Recorder.Dropped())
-		bad += f.Recorder.ViolationRate() * n
-		all += n
-	}
-	if all == 0 {
-		return 0
-	}
-	return bad / all
-}
-
-// Run executes the simulation and returns the results.
-func (e *Engine) Run() *Result {
-	e.resolveChains()
-	e.ctrl.Init(e)
-	e.resInt.Update(0, e.cfg.Cluster.TotalAllocated())
-
-	// Arrival streams: one self-rescheduling chain per function keeps the
-	// event heap small regardless of trace length.
-	for _, f := range e.fns {
-		if f.Spec.Trace == nil {
-			continue
-		}
-		stream := workload.NewStream(f.Spec.Trace, e.cfg.Duration, rand.New(rand.NewSource(e.cfg.Seed+int64(len(f.Spec.Name)))))
-		e.scheduleNextArrival(f, stream)
-	}
-	// Failure injection.
-	for _, fail := range e.cfg.Failures {
-		fail := fail
-		e.clock.ScheduleAt(fail.At, func() { e.failServer(fail.Server) })
-		if fail.Duration > 0 {
-			e.clock.ScheduleAt(fail.At+fail.Duration, func() {
-				e.cfg.Cluster.SetDown(fail.Server, false)
-			})
-		}
-	}
-
-	// Autoscaler ticks.
-	var tick func()
-	tick = func() {
-		for _, f := range e.fns {
-			e.expirePending(f)
-			e.ctrl.Tick(e, f)
-		}
-		if e.clock.Now()+e.cfg.ScaleInterval <= e.cfg.Duration {
-			e.clock.ScheduleAfter(e.cfg.ScaleInterval, tick)
-		}
-	}
-	e.clock.ScheduleAfter(e.cfg.ScaleInterval, tick)
-
-	if e.cfg.ProvisionSampleEvery > 0 {
-		var sample func()
-		sample = func() {
-			e.provision = append(e.provision, e.cfg.Cluster.TotalAllocated())
-			e.provisionT = append(e.provisionT, e.clock.Now())
-			if e.clock.Now()+e.cfg.ProvisionSampleEvery <= e.cfg.Duration {
-				e.clock.ScheduleAfter(e.cfg.ProvisionSampleEvery, sample)
-			}
-		}
-		e.clock.ScheduleAt(0, sample)
-	}
-
-	e.clock.RunUntil(e.cfg.Duration)
-
-	// Drain: unfinished pending requests are drops.
-	for _, f := range e.fns {
-		for range f.Pending {
-			e.dropRequest(f)
-		}
-		f.Pending = nil
-	}
-	e.resInt.Finish(e.cfg.Duration)
-
-	return &Result{
-		System:             e.ctrl.Name(),
-		Duration:           e.cfg.Duration,
-		Functions:          e.fns,
-		ResourceSeconds:    e.resInt.WeightedSeconds(),
-		CPUCoreSeconds:     e.resInt.CPUCoreSeconds(),
-		GPUUnitSeconds:     e.resInt.GPUUnitSeconds(),
-		ProvisionTimes:     e.provisionT,
-		ProvisionSeries:    e.provision,
-		FinalFragmentation: e.cfg.Cluster.FragmentationRatio(),
-	}
-}
-
-func (e *Engine) scheduleNextArrival(f *FunctionState, stream *workload.Stream) {
-	at, ok := stream.Next()
-	if !ok {
-		return
-	}
-	if at < e.clock.Now() {
-		at = e.clock.Now()
-	}
-	e.clock.ScheduleAt(at, func() {
-		e.onArrival(f)
-		e.scheduleNextArrival(f, stream)
-	})
-}
-
-// resolveChains links ForwardTo names to function states and attaches
-// end-to-end recorders to chain tails.
-func (e *Engine) resolveChains() {
-	byName := make(map[string]*FunctionState, len(e.fns))
-	for _, f := range e.fns {
-		byName[f.Spec.Name] = f
-	}
-	isTarget := map[*FunctionState]bool{}
-	for _, f := range e.fns {
-		if f.Spec.ForwardTo == "" {
-			continue
-		}
-		next, ok := byName[f.Spec.ForwardTo]
-		if !ok {
-			panic("sim: chain target " + f.Spec.ForwardTo + " not deployed")
-		}
-		if next == f {
-			panic("sim: function cannot chain to itself")
-		}
-		f.forwardTo = next
-		isTarget[next] = true
-	}
-	for _, f := range e.fns {
-		if isTarget[f] && f.forwardTo == nil {
-			// Chain tail: per-stage SLOs are controller business; the
-			// end-to-end target is declared on the tail, defaulting to the
-			// sum of the stage SLOs upstream.
-			slo := f.Spec.ChainSLO
-			if slo == 0 {
-				slo = e.chainSLO(f, byName)
-			}
-			f.ChainRecorder = metrics.NewLatencyRecorder(slo)
-		}
-	}
-}
-
-// chainSLO sums SLOs along the (single-path) chain ending at tail.
-func (e *Engine) chainSLO(tail *FunctionState, byName map[string]*FunctionState) time.Duration {
-	total := tail.Spec.SLO
-	for {
-		var prev *FunctionState
-		for _, f := range e.fns {
-			if f.forwardTo == tail {
-				prev = f
-				break
-			}
-		}
-		if prev == nil {
-			return total
-		}
-		total += prev.Spec.SLO
-		tail = prev
-	}
-}
-
-// dropRequest records a drop at f and, when f belongs to a chain,
-// charges the chain tail's end-to-end recorder too (the user never got an
-// answer, wherever along the pipeline the request died).
-func (e *Engine) dropRequest(f *FunctionState) {
-	if e.clock.Now() < e.cfg.Warmup {
-		return
-	}
-	f.Recorder.Drop()
-	tail := f
-	for tail.forwardTo != nil {
-		tail = tail.forwardTo
-	}
-	if tail != f && tail.ChainRecorder != nil {
-		tail.ChainRecorder.Drop()
-	} else if tail == f && f.ChainRecorder != nil {
-		f.ChainRecorder.Drop()
-	}
-}
-
-func (e *Engine) onArrival(f *FunctionState) {
-	now := e.clock.Now()
-	req := &Request{Arrive: now, ChainStart: now}
-	e.inject(f, req)
-}
-
-// inject delivers a request (external arrival or chain forward) to f.
-func (e *Engine) inject(f *FunctionState, req *Request) {
-	now := e.clock.Now()
-	f.rate.observe(now)
-	if f.haveArrival && f.Policy != nil {
-		f.Policy.RecordIdle(now-f.lastArrival, now)
-	}
-	f.lastArrival = now
-	f.haveArrival = true
-
-	inst := e.ctrl.Route(e, f, req)
-	if inst == nil {
-		if rej, ok := e.ctrl.(Rejector); ok && rej.RejectOnSaturation() {
-			e.dropRequest(f)
-			return
-		}
-		f.Pending = append(f.Pending, req)
-		return
-	}
-	e.Enqueue(inst, req)
-}
-
-// expirePending drops backlog requests that already blew their SLO: the
-// caller would have timed out.
-func (e *Engine) expirePending(f *FunctionState) {
-	now := e.clock.Now()
-	keep := f.Pending[:0]
-	for _, r := range f.Pending {
-		if now-r.Arrive > f.Spec.SLO {
-			e.dropRequest(f)
-			continue
-		}
-		keep = append(keep, r)
-	}
-	f.Pending = keep
-}
-
-// Enqueue offers a request to an instance's batch queue, handling drops,
-// SLO-aware admission, batch-full submission and timeout scheduling.
-func (e *Engine) Enqueue(inst *Instance, req *Request) {
-	now := e.clock.Now()
-	if a, ok := e.ctrl.(Admitter); ok && a.SLOAwareAdmission() {
-		// Projected completion: batches queued ahead of this request plus
-		// the batch in flight, each costing the predicted execution time.
-		batchesAhead := (inst.Queue.Len() + inst.Cand.B) / inst.Cand.B
-		if inst.Busy {
-			batchesAhead++
-		}
-		wait := now - req.Arrive
-		if !inst.Ready && inst.ReadyAt > now {
-			wait += inst.ReadyAt - now
-		}
-		if wait+time.Duration(batchesAhead)*inst.Cand.TExec > inst.Fn.Spec.SLO {
-			e.dropRequest(inst.Fn)
-			return
-		}
-	}
-	accepted, full := inst.Queue.Add(req, now)
-	if !accepted {
-		e.dropRequest(inst.Fn)
-		return
-	}
-	e.cancelReclaim(inst)
-	if full {
-		e.trySubmit(inst)
-	}
-	e.armTimeout(inst)
-}
-
-// armTimeout (re)schedules the batch-timeout event for the head batch.
-func (e *Engine) armTimeout(inst *Instance) {
-	deadline, ok := inst.Queue.Deadline()
-	if !ok {
-		return
-	}
-	if inst.timeoutEv != nil && !inst.timeoutEv.Canceled() && inst.timeoutEv.At() == deadline {
-		return
-	}
-	if inst.timeoutEv != nil {
-		inst.timeoutEv.Cancel()
-	}
-	if deadline < e.clock.Now() {
-		deadline = e.clock.Now()
-	}
-	inst.timeoutEv = e.clock.ScheduleAt(deadline, func() {
-		inst.timeoutEv = nil
-		e.trySubmit(inst)
-	})
-}
-
-// trySubmit submits the head batch if the instance can execute now and
-// the batch is due (full, or past its deadline).
-func (e *Engine) trySubmit(inst *Instance) {
-	now := e.clock.Now()
-	if !inst.Ready || inst.Busy || inst.Queue.Len() == 0 {
-		return
-	}
-	deadline, _ := inst.Queue.Deadline()
-	if inst.Queue.Len() < inst.Cand.B && deadline > now {
-		e.armTimeout(inst)
-		return
-	}
-	batch, _, ok := inst.Queue.Drain(now)
-	if !ok {
-		return
-	}
-	inst.Busy = true
-	texec := inst.Fn.Spec.Model.ExecTime(len(batch), inst.Cand.Res, model.ExecOptions{
-		Contention: e.cfg.Contention,
-		NoiseSD:    e.cfg.ExecNoiseSD,
-		Rng:        e.rng,
-	})
-	inst.Fn.BatchServed[len(batch)] += uint64(len(batch))
-	e.clock.ScheduleAfter(texec, func() {
-		e.onBatchComplete(inst, batch, now, texec)
-	})
-}
-
-func (e *Engine) onBatchComplete(inst *Instance, batch []*Request, submittedAt time.Duration, texec time.Duration) {
-	f := inst.Fn
-	if inst.lostAt > 0 && inst.lostAt >= submittedAt {
-		// The server failed while this batch was executing: the work is
-		// lost and its requests count as drops.
-		for range batch {
-			e.dropRequest(f)
-		}
-		return
-	}
-	var otpDelay time.Duration
-	if d, ok := e.ctrl.(DispatchDelayer); ok {
-		otpDelay = d.DispatchDelay()
-	}
-	inWarmup := e.clock.Now() < e.cfg.Warmup
-	for _, req := range batch {
-		var cold, queue time.Duration
-		if req.Arrive < inst.ReadyAt {
-			cold = inst.ReadyAt - req.Arrive
-			queue = submittedAt - inst.ReadyAt
-		} else {
-			queue = submittedAt - req.Arrive
-		}
-		if queue < 0 {
-			queue = 0
-		}
-		if !inWarmup {
-			f.Recorder.Observe(metrics.Sample{Cold: cold, Queue: queue + otpDelay, Exec: texec})
-		}
-		switch {
-		case f.forwardTo != nil:
-			// Chain hop: the request continues at the next stage with its
-			// original chain start preserved.
-			e.inject(f.forwardTo, &Request{Arrive: e.clock.Now(), ChainStart: req.ChainStart})
-		case f.ChainRecorder != nil && !inWarmup:
-			// Chain tail: account the end-to-end latency as pure queueing
-			// plus this stage's execution (the decomposition upstream is
-			// already recorded per stage).
-			total := e.clock.Now() - req.ChainStart
-			f.ChainRecorder.Observe(metrics.Sample{Queue: total - texec, Exec: texec})
-		}
-	}
-	inst.Busy = false
-	// Capacity just freed: re-offer any backlog immediately (sub-second
-	// SLOs cannot wait for the next autoscaler tick — chain stages in
-	// particular receive whole upstream batches at one instant).
-	if len(f.Pending) > 0 {
-		e.FlushPending(f)
-	}
-	if inst.Queue.Len() > 0 {
-		e.trySubmit(inst)
-		e.armTimeout(inst)
-		return
-	}
-	if inst.Draining {
-		e.Reclaim(inst)
-		return
-	}
-	e.scheduleReclaim(inst)
-}
-
-// Launch starts a new instance of f with candidate configuration cand on
-// server. It returns nil when the cluster cannot host the instance.
-func (e *Engine) Launch(f *FunctionState, cand scheduler.Candidate, server int) *Instance {
-	if err := e.cfg.Cluster.Allocate(server, cand.Res, f.Spec.Model.MemoryMB); err != nil {
-		return nil
-	}
-	return e.launchAllocated(f, cand, server)
-}
-
-// LaunchPlaced starts an instance whose resources were already reserved
-// by scheduler.Plan.Schedule (which allocates as it packs).
-func (e *Engine) LaunchPlaced(f *FunctionState, d scheduler.Decision) *Instance {
-	return e.launchAllocated(f, d.Candidate, d.Server)
-}
-
-func (e *Engine) launchAllocated(f *FunctionState, cand scheduler.Candidate, server int) *Instance {
-	now := e.clock.Now()
-	e.resInt.Update(now, e.cfg.Cluster.TotalAllocated())
-
-	coldDur := perf.ColdStartTime(f.Spec.Model.MemoryMB)
-	if now < f.prewarmedUntil {
-		coldDur = e.cfg.WarmStartTime
-	} else {
-		f.ColdLaunches++
-	}
-	f.Launches++
-	f.ConfigCount[fmt.Sprintf("(%d,%d,%d)", cand.B, cand.Res.CPU, cand.Res.GPU)]++
-
-	timeout := batchTimeout(f.Spec.SLO, cand.TExec)
-	e.nextID++
-	inst := &Instance{
-		ID:      e.nextID,
-		Fn:      f,
-		Cand:    cand,
-		Server:  server,
-		ReadyAt: now + coldDur,
-		Queue:   batching.NewQueue[*Request](cand.B, timeout),
-		Rate:    cand.Bounds.RUp,
-	}
-	f.Instances = append(f.Instances, inst)
-	e.clock.ScheduleAfter(coldDur, func() {
-		inst.Ready = true
-		if inst.Queue.Len() > 0 {
-			e.trySubmit(inst)
-			e.armTimeout(inst)
-		} else {
-			e.scheduleReclaim(inst)
-		}
-	})
-	return inst
-}
-
-// batchTimeout is the longest a head request may wait in the queue while
-// still meeting the SLO after the (predicted) execution time.
-func batchTimeout(slo, texec time.Duration) time.Duration {
-	t := slo - texec
-	if t < time.Millisecond {
-		t = time.Millisecond
-	}
-	return t
-}
-
-// Retire marks an instance as draining: it receives no new requests and
-// is reclaimed once its queue empties.
-func (e *Engine) Retire(inst *Instance) {
-	inst.Draining = true
-	if inst.Ready && !inst.Busy && inst.Queue.Len() == 0 {
-		e.Reclaim(inst)
-	}
-}
-
-// Reclaim releases the instance's resources and removes it from its
-// function. Queued requests (if any) are dropped. Reclaiming twice is a
-// no-op (failure injection can race with keep-alive expiry).
-func (e *Engine) Reclaim(inst *Instance) {
-	if inst.reclaimed {
-		return
-	}
-	inst.reclaimed = true
-	now := e.clock.Now()
-	f := inst.Fn
-	for {
-		batch, _, ok := inst.Queue.Drain(now)
-		if !ok {
-			break
-		}
-		for range batch {
-			e.dropRequest(f)
-		}
-	}
-	e.cancelReclaim(inst)
-	if inst.timeoutEv != nil {
-		inst.timeoutEv.Cancel()
-		inst.timeoutEv = nil
-	}
-	e.cfg.Cluster.Release(inst.Server, inst.Cand.Res, f.Spec.Model.MemoryMB)
-	e.resInt.Update(now, e.cfg.Cluster.TotalAllocated())
-	for i, x := range f.Instances {
-		if x == inst {
-			f.Instances = append(f.Instances[:i], f.Instances[i+1:]...)
-			break
-		}
-	}
-	if len(f.Instances) == 0 {
-		e.schedulePrewarm(f)
-	}
-}
-
-// scheduleReclaim arms the keep-alive timer for an idle instance.
-func (e *Engine) scheduleReclaim(inst *Instance) {
-	now := e.clock.Now()
-	inst.idleSince = now
-	keep := coldstart.DefaultFixedKeepAlive
-	if inst.Fn.Policy != nil {
-		_, keep = inst.Fn.Policy.Windows(now)
-	}
-	e.cancelReclaim(inst)
-	inst.reclaimEv = e.clock.ScheduleAfter(keep, func() {
-		inst.reclaimEv = nil
-		if inst.Ready && !inst.Busy && inst.Queue.Len() == 0 {
-			e.Reclaim(inst)
-		}
-	})
-}
-
-func (e *Engine) cancelReclaim(inst *Instance) {
-	if inst.reclaimEv != nil {
-		inst.reclaimEv.Cancel()
-		inst.reclaimEv = nil
-	}
-}
-
-// failServer marks a server down and kills every instance hosted on it:
-// in-flight batches are lost (their requests drop), queued requests drop,
-// and the next autoscaler tick re-schedules the lost capacity elsewhere.
-func (e *Engine) failServer(id int) {
-	e.cfg.Cluster.SetDown(id, true)
-	for _, f := range e.fns {
-		// Collect first: Reclaim mutates f.Instances.
-		var doomed []*Instance
-		for _, inst := range f.Instances {
-			if inst.Server == id {
-				doomed = append(doomed, inst)
-			}
-		}
-		for _, inst := range doomed {
-			if inst.Busy {
-				// The executing batch dies with the server; its requests
-				// never complete. Mark the instance free so Reclaim's
-				// bookkeeping stays consistent; completion events for the
-				// lost batch are disarmed via the lostAt marker.
-				inst.Busy = false
-				inst.lostAt = e.clock.Now()
-			}
-			e.Reclaim(inst)
-		}
-	}
-}
-
-// FlushPending re-offers backlog requests to the controller, typically
-// right after a scale-out or a freed execution slot. Requests whose SLO
-// already expired are dropped first — the client has timed out, so
-// serving them would only burn capacity on a guaranteed violation.
-func (e *Engine) FlushPending(f *FunctionState) {
-	if len(f.Pending) == 0 {
-		return
-	}
-	e.expirePending(f)
-	pending := f.Pending
-	f.Pending = nil
-	for i, r := range pending {
-		inst := e.ctrl.Route(e, f, r)
-		if inst == nil {
-			f.Pending = append(f.Pending, pending[i:]...)
-			break
-		}
-		e.Enqueue(inst, r)
-	}
-}
-
-// schedulePrewarm arms the function's pre-warming window after it went
-// fully idle: the image is re-loaded `prewarm` later and stays available
-// for `keepalive`, so launches within that window skip the cold start.
-// Fixed keep-alive policies never pre-warm — once the instance is gone,
-// the next launch is cold (the behavior of OpenFaaS and BATCH).
-func (e *Engine) schedulePrewarm(f *FunctionState) {
-	if f.Policy == nil {
-		return
-	}
-	if _, fixed := f.Policy.(coldstart.Fixed); fixed {
-		return
-	}
-	now := e.clock.Now()
-	prewarm, keepalive := f.Policy.Windows(now)
-	if f.prewarmEv != nil {
-		f.prewarmEv.Cancel()
-	}
-	f.prewarmEv = e.clock.ScheduleAfter(prewarm, func() {
-		f.prewarmEv = nil
-		f.prewarmedUntil = e.clock.Now() + keepalive
-	})
 }

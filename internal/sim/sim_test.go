@@ -119,8 +119,8 @@ func TestInflessScalesInAfterLoadDrop(t *testing.T) {
 		Trace: tr,
 	})
 	res := e.Run()
-	if len(f.Instances) != 0 {
-		t.Errorf("instances remain after load drop: %d", len(f.Instances))
+	if len(f.Instances()) != 0 {
+		t.Errorf("instances remain after load drop: %d", len(f.Instances()))
 	}
 	if res.Served() == 0 {
 		t.Fatal("nothing served")

@@ -1,0 +1,55 @@
+#!/bin/sh
+# scripts/check.sh is the tier-1 gate: build + vet + full test suite,
+# a race pass over the concurrently-exercised packages (the shared
+# internal/runtime policies and the wall-clock gateway that calls them
+# from many goroutines), and grep guards that keep the lifecycle
+# policies single-sourced — each must be defined exactly once, in
+# internal/runtime, and never re-grown inside a data plane.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go build"
+go build ./...
+echo "== go vet"
+go vet ./...
+echo "== go test"
+go test ./...
+echo "== go test -race (gateway + runtime)"
+go test -race ./internal/gateway/... ./internal/runtime/...
+
+echo "== single-definition guards"
+fail=0
+
+# single_def FIXED_PATTERN FILE: the pattern must appear exactly once in
+# non-test Go sources, and in that file.
+single_def() {
+	hits=$(grep -rnF --include='*.go' --exclude='*_test.go' "$1" . || true)
+	n=$(printf '%s' "$hits" | grep -c . || true)
+	if [ "$n" != 1 ] || ! printf '%s\n' "$hits" | grep -q "^\./$2:"; then
+		echo "GUARD FAIL: '$1' must be defined exactly once, in $2; found:"
+		printf '%s\n' "${hits:-<nowhere>}"
+		fail=1
+	fi
+}
+
+single_def 'func BatchTimeout(' internal/runtime/runtime.go
+single_def 'type RateEstimator struct' internal/runtime/rate.go
+single_def 'type Pool[' internal/runtime/pool.go
+single_def 'func ScaleAheadTarget(' internal/runtime/runtime.go
+
+# forbid REGEX WHY: private re-implementations of runtime policies must
+# not reappear in the data planes.
+forbid() {
+	hits=$(grep -rnE --include='*.go' "$1" . | grep -v '^\./internal/runtime/' || true)
+	if [ -n "$hits" ]; then
+		echo "GUARD FAIL ($2):"
+		printf '%s\n' "$hits"
+		fail=1
+	fi
+}
+
+forbid 'func batchTimeout\(|type rateEstimator |type instancePool ' \
+	'lifecycle policy helpers live in internal/runtime only'
+
+[ "$fail" = 0 ] || exit 1
+echo "OK"
