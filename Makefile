@@ -16,10 +16,11 @@ vet:
 test:
 	$(GO) test ./...
 
-## race: the packages exercised concurrently (wall-clock gateway and the
-## runtime policies it shares with the simulator).
+## race: the packages exercised concurrently (wall-clock gateway, the
+## runtime policies it shares with the simulator, and the telemetry
+## collector both planes feed from many goroutines).
 race:
-	$(GO) test -race ./internal/gateway/... ./internal/runtime/...
+	$(GO) test -race ./internal/gateway/... ./internal/runtime/... ./internal/telemetry/...
 
 bench:
 	$(GO) test -bench=. -benchmem -run=NONE ./...

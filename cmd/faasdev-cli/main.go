@@ -81,12 +81,23 @@ func main() {
 		}
 
 	case "metrics":
-		ms, err := c.Metrics()
+		fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+		prom := fs.Bool("prometheus", false, "print the raw Prometheus exposition instead")
+		_ = fs.Parse(args[1:])
+		if *prom {
+			text, err := c.MetricsPrometheus()
+			check(err)
+			fmt.Print(text)
+			return
+		}
+		snap, err := c.Metrics()
 		check(err)
-		fmt.Printf("%-20s %8s %8s %8s %10s %10s %6s\n", "name", "served", "dropped", "viol%", "mean(ms)", "p99(ms)", "insts")
-		for _, m := range ms {
-			fmt.Printf("%-20s %8d %8d %7.2f%% %10.1f %10.1f %6d\n",
-				m.Name, m.Served, m.Dropped, 100*m.ViolationRate, m.MeanMs, m.P99Ms, m.Instances)
+		fmt.Printf("%-20s %8s %8s %8s %10s %10s %6s %8s\n",
+			"name", "served", "dropped", "viol%", "mean(ms)", "p99(ms)", "insts", "rps(1m)")
+		for _, m := range snap.Functions {
+			fmt.Printf("%-20s %8d %8d %7.2f%% %10.1f %10.1f %6d %8.1f\n",
+				m.Name, m.Served, m.Dropped, 100*m.SLOViolationRate,
+				m.MeanMs, m.P99Ms, m.LiveInstances, m.Window.ArrivalRate)
 		}
 
 	default:
@@ -103,7 +114,7 @@ commands:
   deploy  -f template.yml           deploy from a template
   list                              list deployed functions
   invoke  -name N [-n count]        invoke a function
-  metrics                           per-function statistics
+  metrics [-prometheus]             per-function telemetry snapshot
   delete  -name N                   undeploy a function`)
 }
 

@@ -6,9 +6,11 @@
 //	infless-bench -list
 //	infless-bench -run fig11
 //	infless-bench -run all -full
+//	infless-bench -run fig12 -json > fig12.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,11 +21,12 @@ import (
 
 func main() {
 	var (
-		list   = flag.Bool("list", false, "list experiment IDs and exit")
-		run    = flag.String("run", "all", "experiment ID to run, or 'all'")
-		full   = flag.Bool("full", false, "full-length runs (default: quick)")
-		seed   = flag.Int64("seed", 1, "random seed")
-		format = flag.String("format", "table", "output format: table | csv")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		run     = flag.String("run", "all", "experiment ID to run, or 'all'")
+		full    = flag.Bool("full", false, "full-length runs (default: quick)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		format  = flag.String("format", "table", "output format: table | csv")
+		jsonOut = flag.Bool("json", false, "print result tables as JSON (overrides -format)")
 	)
 	flag.Parse()
 
@@ -37,6 +40,15 @@ func main() {
 	runOne := func(e bench.Experiment) {
 		start := time.Now()
 		table := e.Run(opts)
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(table); err != nil {
+				fmt.Fprintln(os.Stderr, "infless-bench:", err)
+				os.Exit(1)
+			}
+			return
+		}
 		if *format == "csv" {
 			fmt.Printf("# %s: %s\n%s\n", table.ID, table.Title, table.CSV())
 			return

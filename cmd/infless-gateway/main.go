@@ -8,6 +8,7 @@
 //	     -d '{"name":"classify","model":"ResNet-50","slo":"200ms"}'
 //	curl -XPOST localhost:8080/function/classify
 //	curl localhost:8080/system/metrics
+//	curl 'localhost:8080/system/metrics?format=prometheus'
 package main
 
 import (
@@ -21,24 +22,37 @@ import (
 
 	"github.com/tanklab/infless/internal/cluster"
 	"github.com/tanklab/infless/internal/gateway"
+	"github.com/tanklab/infless/internal/telemetry"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		servers = flag.Int("servers", 8, "virtual cluster size")
-		speed   = flag.Float64("speed", 1, "wall-clock acceleration of emulated execution")
-		idle    = flag.Duration("idle", 60*time.Second, "instance idle reclaim timeout")
-		seed    = flag.Int64("seed", 1, "random seed for execution noise")
+		addr     = flag.String("addr", ":8080", "listen address")
+		servers  = flag.Int("servers", 8, "virtual cluster size")
+		speed    = flag.Float64("speed", 1, "wall-clock acceleration of emulated execution")
+		idle     = flag.Duration("idle", 60*time.Second, "instance idle reclaim timeout")
+		seed     = flag.Int64("seed", 1, "random seed for execution noise")
+		traceOut = flag.String("trace", "", "write per-request lifecycle events as JSONL to this file (- for stderr)")
 	)
 	flag.Parse()
 
-	gw := gateway.New(gateway.Config{
+	cfg := gateway.Config{
 		Cluster:     cluster.New(cluster.Options{Servers: *servers}),
 		SpeedFactor: *speed,
 		IdleTimeout: *idle,
 		Seed:        *seed,
-	})
+	}
+	if *traceOut == "-" {
+		cfg.Observer = telemetry.NewTraceWriter(os.Stderr)
+	} else if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		cfg.Observer = telemetry.NewTraceWriter(f)
+	}
+	gw := gateway.New(cfg)
 	srv := &http.Server{Addr: *addr, Handler: gw}
 
 	go func() {

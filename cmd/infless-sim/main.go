@@ -7,6 +7,8 @@
 //	infless-sim -system infless -scenario osvt -pattern bursty -rps 120 -duration 30m
 //	infless-sim -system batch -model ResNet-50 -slo 200ms -rps 100
 //	infless-sim -template functions.yml -rps 50
+//	infless-sim -rps 100 -json > report.json
+//	infless-sim -rps 100 -trace events.jsonl
 package main
 
 import (
@@ -31,6 +33,8 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		template = flag.String("template", "", "deploy functions from an INFless template file")
 		models   = flag.Bool("models", false, "list the model zoo and exit")
+		jsonOut  = flag.Bool("json", false, "print the report as JSON instead of the summary table")
+		traceOut = flag.String("trace", "", "write per-request lifecycle events as JSONL to this file (- for stderr)")
 	)
 	flag.Parse()
 
@@ -41,11 +45,21 @@ func main() {
 		return
 	}
 
-	p, err := infless.NewPlatform(infless.Options{
+	opts := infless.Options{
 		System:  infless.System(*system),
 		Servers: *servers,
 		Seed:    *seed,
-	})
+	}
+	var traceFile *os.File
+	if *traceOut == "-" {
+		opts.Telemetry.Trace = os.Stderr
+	} else if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		check(err)
+		traceFile = f
+		opts.Telemetry.Trace = f
+	}
+	p, err := infless.NewPlatform(opts)
 	check(err)
 
 	traffic := infless.Traffic{Pattern: *pattern, RPS: *rps}
@@ -70,6 +84,13 @@ func main() {
 
 	rep, err := p.Run(*duration)
 	check(err)
+	if traceFile != nil {
+		check(traceFile.Close())
+	}
+	if *jsonOut {
+		check(rep.WriteJSON(os.Stdout))
+		return
+	}
 	fmt.Print(rep.String())
 }
 

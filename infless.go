@@ -31,6 +31,7 @@ import (
 	"github.com/tanklab/infless/internal/core"
 	"github.com/tanklab/infless/internal/model"
 	"github.com/tanklab/infless/internal/sim"
+	"github.com/tanklab/infless/internal/telemetry"
 	"github.com/tanklab/infless/internal/workload"
 )
 
@@ -63,8 +64,10 @@ type Options struct {
 	PredictionInflate float64 // OP ablation: 1.5 = OP1.5, 2.0 = OP2
 	// LSTHGamma overrides the LSTH blending weight (default 0.5).
 	LSTHGamma float64
-	// ProvisionSampleEvery records a provisioning time series (Figure 14).
-	ProvisionSampleEvery time.Duration
+	// Telemetry configures the platform's observation subsystem: rolling
+	// window, provisioning-series sampling (Figure 14) and the optional
+	// per-request trace stream. See Platform.Telemetry for the live API.
+	Telemetry TelemetryOptions
 }
 
 // Traffic declares the request load of one function.
@@ -97,39 +100,37 @@ type Platform struct {
 	opts       Options
 	engineCtrl sim.Controller
 	engine     *sim.Engine
+	col        *telemetry.Collector
 	fns        []FunctionConfig
 	ran        bool
 }
 
-// NewPlatform creates a platform with the chosen control plane.
+// NewPlatform creates a platform with the chosen control plane. Invalid
+// options are rejected with a FieldError naming the offending field;
+// zero fields resolve to the Default* constants (see Platform.Options).
 func NewPlatform(opts Options) (*Platform, error) {
-	if opts.System == "" {
-		opts.System = SystemINFless
+	if err := opts.Validate(); err != nil {
+		return nil, err
 	}
-	if opts.Servers == 0 {
-		opts.Servers = 8
-	}
-	if opts.Seed == 0 {
-		opts.Seed = 1
-	}
+	opts = opts.withDefaults()
 	var ctrl sim.Controller
 	switch opts.System {
 	case SystemINFless:
 		inflessOpts := core.Options{PredictionInflate: opts.PredictionInflate}
 		inflessOpts.Sched.ForceBatchOne = opts.DisableBatching
 		inflessOpts.Sched.DisableRS = opts.DisableRS
-		if opts.LSTHGamma != 0 {
-			inflessOpts.LSTH.Gamma = opts.LSTHGamma
-		}
+		inflessOpts.LSTH.Gamma = opts.LSTHGamma
 		ctrl = core.New(inflessOpts)
 	case SystemBATCH:
 		ctrl = baselines.NewBatchSys(baselines.BatchSysConfig{})
 	case SystemOpenFaaSPlus:
 		ctrl = baselines.NewOpenFaaSPlus(baselines.OpenFaaSPlusConfig{})
-	default:
-		return nil, fmt.Errorf("infless: unknown system %q", opts.System)
 	}
-	return &Platform{opts: opts, engineCtrl: ctrl}, nil
+	col := telemetry.New(telemetry.Options{
+		Window:              opts.Telemetry.Window,
+		ResourceSampleEvery: opts.Telemetry.ResourceSampleEvery,
+	})
+	return &Platform{opts: opts, engineCtrl: ctrl, col: col}, nil
 }
 
 // Deploy registers a function; call before Run.
@@ -137,22 +138,12 @@ func (p *Platform) Deploy(cfg FunctionConfig) error {
 	if p.ran {
 		return fmt.Errorf("infless: platform already ran")
 	}
-	if cfg.Name == "" {
-		return fmt.Errorf("infless: function needs a name")
+	if err := cfg.validate(); err != nil {
+		return err
 	}
 	if model.Get(cfg.Model) == nil {
-		return fmt.Errorf("infless: unknown model %q (see infless.Models())", cfg.Model)
-	}
-	if cfg.SLO <= 0 {
-		return fmt.Errorf("infless: function %s needs a positive SLO", cfg.Name)
-	}
-	if cfg.Traffic.RPS <= 0 {
-		return fmt.Errorf("infless: function %s needs positive traffic", cfg.Name)
-	}
-	switch cfg.Traffic.Pattern {
-	case "", "constant", "sporadic", "periodic", "bursty":
-	default:
-		return fmt.Errorf("infless: unknown traffic pattern %q", cfg.Traffic.Pattern)
+		return &FieldError{"FunctionConfig.Model", cfg.Model,
+			"unknown model (see infless.Models())"}
 	}
 	p.fns = append(p.fns, cfg)
 	return nil
@@ -192,11 +183,14 @@ func (p *Platform) Run(duration time.Duration) (*Report, error) {
 	}
 	p.ran = true
 	e := sim.New(p.engineCtrl, sim.Config{
-		Cluster:              cluster.New(cluster.Options{Servers: p.opts.Servers}),
-		Seed:                 p.opts.Seed,
-		Duration:             duration,
-		ProvisionSampleEvery: p.opts.ProvisionSampleEvery,
+		Cluster:   cluster.New(cluster.Options{Servers: p.opts.Servers}),
+		Seed:      p.opts.Seed,
+		Duration:  duration,
+		Collector: p.col,
 	})
+	if p.opts.Telemetry.Trace != nil {
+		e.Observe(telemetry.NewTraceWriter(p.opts.Telemetry.Trace))
+	}
 	for _, cfg := range p.fns {
 		spec := sim.FunctionSpec{
 			Name:      cfg.Name,

@@ -148,7 +148,9 @@ func TestSyntheticTrafficPatterns(t *testing.T) {
 }
 
 func TestProvisioningSeries(t *testing.T) {
-	p, _ := infless.NewPlatform(infless.Options{ProvisionSampleEvery: 10 * time.Second})
+	p, _ := infless.NewPlatform(infless.Options{
+		Telemetry: infless.TelemetryOptions{ResourceSampleEvery: 10 * time.Second},
+	})
 	_ = p.Deploy(infless.FunctionConfig{Name: "f", Model: "ResNet-50", SLO: 200 * time.Millisecond, Traffic: infless.Traffic{RPS: 50}})
 	rep, err := p.Run(2 * time.Minute)
 	if err != nil {

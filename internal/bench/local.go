@@ -16,6 +16,7 @@ import (
 	"github.com/tanklab/infless/internal/model"
 	"github.com/tanklab/infless/internal/perf"
 	"github.com/tanklab/infless/internal/sim"
+	"github.com/tanklab/infless/internal/telemetry"
 	"github.com/tanklab/infless/internal/workload"
 )
 
@@ -311,7 +312,7 @@ func Fig14(opts Options) *Table {
 	for _, sys := range []string{"batch", "infless"} {
 		e := sim.New(controllerFor(sys), sim.Config{
 			Cluster: cluster.Testbed(), Duration: dur, Seed: opts.Seed,
-			ProvisionSampleEvery: 15 * time.Second,
+			Telemetry: telemetry.Options{ResourceSampleEvery: 15 * time.Second},
 		})
 		e.AddFunction(sim.FunctionSpec{Name: "resnet", Model: model.MustGet("ResNet-50"), SLO: 200 * time.Millisecond, Trace: tr})
 		res := e.Run()

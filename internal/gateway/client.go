@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"github.com/tanklab/infless/internal/core"
+	"github.com/tanklab/infless/internal/telemetry"
 )
 
 // Client talks to a running infless-gateway.
@@ -138,19 +139,39 @@ func (c *Client) Invoke(name string) (InvokeResponse, error) {
 	return out, nil
 }
 
-// Metrics returns per-function statistics.
-func (c *Client) Metrics() ([]MetricsEntry, error) {
+// Metrics returns the gateway's telemetry snapshot: per-function latency
+// quantiles, SLO attainment, rolling-window rates, and cluster resource
+// usage, all rendered by the gateway's telemetry.Collector.
+func (c *Client) Metrics() (telemetry.Snapshot, error) {
 	resp, err := c.http().Get(c.BaseURL + "/system/metrics")
 	if err != nil {
-		return nil, err
+		return telemetry.Snapshot{}, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, apiError(resp)
+		return telemetry.Snapshot{}, apiError(resp)
 	}
 	defer resp.Body.Close()
-	var out []MetricsEntry
+	var out telemetry.Snapshot
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return nil, err
+		return telemetry.Snapshot{}, err
 	}
 	return out, nil
+}
+
+// MetricsPrometheus returns the raw Prometheus text exposition from
+// /system/metrics?format=prometheus.
+func (c *Client) MetricsPrometheus() (string, error) {
+	resp, err := c.http().Get(c.BaseURL + "/system/metrics?format=prometheus")
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", apiError(resp)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
 }

@@ -35,11 +35,11 @@ func TestClientRoundTrip(t *testing.T) {
 		t.Fatalf("invoke: %+v", inv)
 	}
 
-	ms, err := c.Metrics()
-	if err != nil || len(ms) != 2 {
-		t.Fatalf("metrics: %v %v", ms, err)
+	snap, err := c.Metrics()
+	if err != nil || len(snap.Functions) != 2 {
+		t.Fatalf("metrics: %v %v", snap, err)
 	}
-	for _, m := range ms {
+	for _, m := range snap.Functions {
 		if m.Name == "f" && m.Served != 1 {
 			t.Fatalf("served = %d", m.Served)
 		}

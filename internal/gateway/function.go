@@ -32,10 +32,13 @@ type function struct {
 	plan  *scheduler.Plan
 	batch runtime.BatchPolicy
 
+	// slo is the deployed latency target; statistics live in the server's
+	// telemetry collector, which observes this function's event stream.
+	slo time.Duration
+
 	mu        sync.Mutex
 	pool      runtime.Pool[*instance]
 	rate      *runtime.RateEstimator
-	recorder  *metrics.LatencyRecorder
 	launchDue time.Duration // plane time; 0 = no launch pending
 	closed    bool
 }
@@ -118,7 +121,7 @@ var errWaitWarm = fmt.Errorf("gateway: instance warming, backlog held")
 func (f *function) invoke(ctx context.Context) (InvokeResponse, error) {
 	inv := &invocation{arrived: time.Now(), respCh: make(chan invokeResult, 1)}
 	f.noteArrival()
-	slo := f.recorder.SLO()
+	slo := f.slo
 	speed := f.srv.cfg.SpeedFactor
 
 	holdUntil := inv.arrived.Add(scale(4*slo, speed) + time.Second)
@@ -261,32 +264,6 @@ func (f *function) name() string {
 
 func (f *function) drop() {
 	f.srv.obs.RequestDropped(f.name(), f.srv.planeNow())
-}
-
-func (f *function) recordDrop() {
-	f.mu.Lock()
-	f.recorder.Drop()
-	f.mu.Unlock()
-}
-
-func (f *function) recordServe(s metrics.Sample) {
-	f.mu.Lock()
-	f.recorder.Observe(s)
-	f.mu.Unlock()
-}
-
-func (f *function) metrics() MetricsEntry {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return MetricsEntry{
-		Name:          f.name(),
-		Served:        f.recorder.Served(),
-		Dropped:       f.recorder.Dropped(),
-		ViolationRate: f.recorder.ViolationRate(),
-		MeanMs:        float64(f.recorder.Mean()) / float64(time.Millisecond),
-		P99Ms:         float64(f.recorder.Percentile(0.99)) / float64(time.Millisecond),
-		Instances:     f.pool.Len(),
-	}
 }
 
 // shutdown stops every instance and releases resources.

@@ -12,11 +12,20 @@
 //	GET    /system/functions        list deployed functions
 //	DELETE /system/functions/{name} undeploy
 //	POST   /function/{name}         invoke (blocks until the batch executes)
-//	GET    /system/metrics          per-function latency/SLO statistics
+//	GET    /system/metrics          telemetry snapshot (?format=json | prometheus)
+//
+// The REST surface is normalized: every response carries a Content-Type,
+// every error is `{"error": "..."}` JSON with a meaningful status code
+// (404 unknown function, 409 duplicate deploy, 400 bad request, 503
+// saturated). /system/metrics serves the versioned telemetry.Snapshot
+// JSON document by default and the Prometheus text exposition with
+// ?format=prometheus — both rendered from the same telemetry.Collector
+// that observes the gateway's runtime event stream.
 package gateway
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net/http"
@@ -25,11 +34,11 @@ import (
 
 	"github.com/tanklab/infless/internal/cluster"
 	"github.com/tanklab/infless/internal/core"
-	"github.com/tanklab/infless/internal/metrics"
 	"github.com/tanklab/infless/internal/model"
 	"github.com/tanklab/infless/internal/profiler"
 	"github.com/tanklab/infless/internal/runtime"
 	"github.com/tanklab/infless/internal/scheduler"
+	"github.com/tanklab/infless/internal/telemetry"
 )
 
 // Config tunes the gateway.
@@ -49,12 +58,16 @@ type Config struct {
 	// (default 10s).
 	RateWindow time.Duration
 	// Observer, when set, receives every lifecycle event (arrivals, batch
-	// submissions, launches, reclaims) alongside the built-in metrics
-	// recorders. Hooks are invoked from request and instance goroutines
+	// submissions, launches, reclaims) alongside the built-in telemetry
+	// collector. Hooks are invoked from request and instance goroutines
 	// concurrently; implementations must be safe for concurrent use.
 	// Event timestamps are plane time: model-time offsets from the
 	// server's start, i.e. wall elapsed times SpeedFactor.
 	Observer runtime.Observer
+	// Collector, when set, is the telemetry collector the gateway feeds
+	// (e.g. one shared with a simulator run for cross-plane comparison).
+	// When nil the gateway creates its own; Server.Telemetry returns it.
+	Collector *telemetry.Collector
 	// Seed drives execution-time noise.
 	Seed int64
 }
@@ -68,6 +81,7 @@ type Server struct {
 	reg   *core.Registry
 	epoch time.Time
 	obs   runtime.Observers
+	col   *telemetry.Collector
 
 	mu  sync.Mutex
 	fns map[string]*function
@@ -106,16 +120,20 @@ func New(cfg Config) *Server {
 	if cfg.RateWindow <= 0 {
 		cfg.RateWindow = 10 * time.Second
 	}
+	if cfg.Collector == nil {
+		cfg.Collector = telemetry.New(telemetry.Options{Window: time.Minute})
+	}
 	s := &Server{
 		mux:   http.NewServeMux(),
 		cfg:   cfg,
 		pred:  cfg.Predictor,
 		reg:   core.NewRegistry(),
 		epoch: time.Now(),
+		col:   cfg.Collector,
 		fns:   map[string]*function{},
 		rng:   rand.New(rand.NewSource(cfg.Seed + 1)),
 	}
-	s.obs = runtime.Observers{&recorderSink{s: s}}
+	s.obs = runtime.Observers{s.col}
 	if cfg.Observer != nil {
 		s.obs = append(s.obs, cfg.Observer)
 	}
@@ -140,33 +158,13 @@ func (s *Server) planeNow() time.Duration {
 	return time.Duration(float64(time.Since(s.epoch)) * s.cfg.SpeedFactor)
 }
 
-// recorderSink is the built-in observer that feeds per-function latency
-// recorders, mirroring the simulator's metricsObserver. Events for
-// undeployed functions are ignored (an in-flight batch can complete
-// after its function is deleted).
-type recorderSink struct {
-	runtime.NopObserver
-	s *Server
-}
+// Telemetry returns the gateway's collector: the single source behind
+// /system/metrics in both formats, live-readable by embedding callers.
+func (s *Server) Telemetry() *telemetry.Collector { return s.col }
 
-func (r *recorderSink) lookup(fn string) (*function, bool) {
-	r.s.mu.Lock()
-	f, ok := r.s.fns[fn]
-	r.s.mu.Unlock()
-	return f, ok
-}
-
-func (r *recorderSink) RequestServed(fn string, s metrics.Sample, _ time.Duration) {
-	if f, ok := r.lookup(fn); ok {
-		f.recordServe(s)
-	}
-}
-
-func (r *recorderSink) RequestDropped(fn string, _ time.Duration) {
-	if f, ok := r.lookup(fn); ok {
-		f.recordDrop()
-	}
-}
+// PlaneNow exposes the gateway's current plane time (tests and callers
+// snapshotting the collector mid-run pass it to SnapshotAt).
+func (s *Server) PlaneNow() time.Duration { return s.planeNow() }
 
 // Close stops all function instances and releases their resources.
 func (s *Server) Close() {
@@ -240,16 +238,36 @@ func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
 	var deployed []string
 	for _, e := range entries {
 		if err := s.deploy(e); err != nil {
-			httpError(w, http.StatusBadRequest, "%v", err)
+			code := http.StatusBadRequest
+			var se *statusError
+			if errors.As(err, &se) {
+				code = se.code
+			}
+			httpError(w, code, "%v", err)
 			return
 		}
 		deployed = append(deployed, e.Name)
 	}
-	w.WriteHeader(http.StatusCreated)
-	_ = json.NewEncoder(w).Encode(map[string]any{"deployed": deployed})
+	writeJSON(w, http.StatusCreated, map[string]any{"deployed": deployed})
 }
 
+// statusError carries the HTTP status a gateway-internal failure maps to
+// (409 duplicate deploy, etc.); handlers unwrap it with errors.As.
+type statusError struct {
+	code int
+	msg  string
+}
+
+func (e *statusError) Error() string { return e.msg }
+
 func (s *Server) deploy(e core.RegistryEntry) error {
+	s.mu.Lock()
+	_, exists := s.fns[e.Name]
+	s.mu.Unlock()
+	if exists {
+		return &statusError{http.StatusConflict,
+			fmt.Sprintf("gateway: function %s already deployed", e.Name)}
+	}
 	if err := s.reg.Register(e); err != nil {
 		return err
 	}
@@ -261,24 +279,26 @@ func (s *Server) deploy(e core.RegistryEntry) error {
 		return fmt.Errorf("gateway: no configuration of %s meets %v", e.ModelName, e.SLO)
 	}
 	f := &function{
-		srv:      s,
-		model:    m,
-		plan:     plan,
-		batch:    runtime.BatchPolicy{SLO: e.SLO},
-		rate:     runtime.NewRateEstimator(s.cfg.RateWindow),
-		recorder: metrics.NewLatencyRecorder(e.SLO),
+		srv:   s,
+		model: m,
+		plan:  plan,
+		slo:   e.SLO,
+		batch: runtime.BatchPolicy{SLO: e.SLO},
+		rate:  runtime.NewRateEstimator(s.cfg.RateWindow),
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, exists := s.fns[e.Name]; exists {
-		return fmt.Errorf("gateway: function %s already deployed", e.Name)
+		return &statusError{http.StatusConflict,
+			fmt.Sprintf("gateway: function %s already deployed", e.Name)}
 	}
 	s.fns[e.Name] = f
+	s.col.Register(e.Name, e.SLO)
 	return nil
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	_ = json.NewEncoder(w).Encode(s.reg.List())
+	writeJSON(w, http.StatusOK, s.reg.List())
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
@@ -319,35 +339,36 @@ func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
-	_ = json.NewEncoder(w).Encode(res)
+	writeJSON(w, http.StatusOK, res)
 }
 
-// MetricsEntry is one function's statistics in /system/metrics.
-type MetricsEntry struct {
-	Name          string  `json:"name"`
-	Served        uint64  `json:"served"`
-	Dropped       uint64  `json:"dropped"`
-	ViolationRate float64 `json:"sloViolationRate"`
-	MeanMs        float64 `json:"meanLatencyMs"`
-	P99Ms         float64 `json:"p99LatencyMs"`
-	Instances     int     `json:"instances"`
-}
-
+// handleMetrics renders the collector's current snapshot. The default
+// (and ?format=json) response is the versioned telemetry.Snapshot
+// document; ?format=prometheus serves the text exposition instead. Both
+// views come from the same SnapshotAt call, so they always agree.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	fns := make([]*function, 0, len(s.fns))
-	for _, f := range s.fns {
-		fns = append(fns, f)
+	snap := s.col.SnapshotAt(s.planeNow())
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		writeJSON(w, http.StatusOK, snap)
+	case "prometheus":
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		_ = telemetry.WritePrometheus(w, snap)
+	default:
+		httpError(w, http.StatusBadRequest, "unknown format %q (use json or prometheus)", format)
 	}
-	s.mu.Unlock()
-	out := make([]MetricsEntry, 0, len(fns))
-	for _, f := range fns {
-		out = append(out, f.metrics())
-	}
-	_ = json.NewEncoder(w).Encode(out)
+}
+
+// writeJSON answers with a JSON body and the right Content-Type. Every
+// non-Prometheus response on the REST surface goes through here or
+// httpError, so no handler can forget the header.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
 }
 
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }

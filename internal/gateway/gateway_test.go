@@ -10,6 +10,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"github.com/tanklab/infless/internal/telemetry"
 )
 
 // testServer runs the gateway 500x faster than real time so cold starts
@@ -78,10 +80,13 @@ func TestDeployInvokeLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var ms []MetricsEntry
-	_ = json.NewDecoder(resp.Body).Decode(&ms)
-	if len(ms) != 1 || ms[0].Served != 5 || ms[0].Instances < 1 {
-		t.Fatalf("metrics = %+v", ms)
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("metrics content type = %q", ct)
+	}
+	var snap telemetry.Snapshot
+	_ = json.NewDecoder(resp.Body).Decode(&snap)
+	if len(snap.Functions) != 1 || snap.Functions[0].Served != 5 || snap.Functions[0].LiveInstances < 1 {
+		t.Fatalf("metrics = %+v", snap)
 	}
 
 	// Undeploy.
@@ -134,9 +139,9 @@ func TestDeployErrors(t *testing.T) {
 			t.Errorf("%+v: status %d, want 400", c, resp.StatusCode)
 		}
 	}
-	// Duplicate deploys conflict.
+	// Duplicate deploys conflict with 409.
 	deployJSON(t, ts, "dup", "MNIST", "1s")
-	if resp := deployJSON(t, ts, "dup", "MNIST", "1s"); resp.StatusCode != http.StatusBadRequest {
+	if resp := deployJSON(t, ts, "dup", "MNIST", "1s"); resp.StatusCode != http.StatusConflict {
 		t.Errorf("duplicate deploy status = %d", resp.StatusCode)
 	}
 	// Infeasible SLO rejected at deploy time.

@@ -6,7 +6,6 @@
 package metrics
 
 import (
-	"math"
 	"time"
 
 	"github.com/tanklab/infless/internal/perf"
@@ -23,77 +22,11 @@ type Sample struct {
 // Total is the end-to-end latency of the request.
 func (s Sample) Total() time.Duration { return s.Cold + s.Queue + s.Exec }
 
-// histogram is a log-bucketed latency histogram: constant relative error
-// (~5%) from 1 microsecond to ~1 hour in a few hundred buckets, so
-// million-request simulations stay O(1) memory.
-type histogram struct {
-	counts []uint64
-	total  uint64
-}
-
-const (
-	histMin    = float64(time.Microsecond)
-	histGrowth = 1.05
-)
-
-var histBuckets = func() int {
-	return int(math.Ceil(math.Log(float64(time.Hour)/histMin)/math.Log(histGrowth))) + 2
-}()
-
-func bucketOf(d time.Duration) int {
-	if d <= time.Microsecond {
-		return 0
-	}
-	b := int(math.Log(float64(d)/histMin)/math.Log(histGrowth)) + 1
-	if b >= histBuckets {
-		b = histBuckets - 1
-	}
-	return b
-}
-
-func bucketUpper(b int) time.Duration {
-	if b <= 0 {
-		return time.Microsecond
-	}
-	return time.Duration(histMin * math.Pow(histGrowth, float64(b)))
-}
-
-func (h *histogram) add(d time.Duration) {
-	if h.counts == nil {
-		h.counts = make([]uint64, histBuckets)
-	}
-	h.counts[bucketOf(d)]++
-	h.total++
-}
-
-func (h *histogram) percentile(q float64) time.Duration {
-	if h.total == 0 {
-		return 0
-	}
-	if q < 0 {
-		q = 0
-	}
-	if q > 1 {
-		q = 1
-	}
-	need := uint64(math.Ceil(q * float64(h.total)))
-	if need < 1 {
-		need = 1
-	}
-	var cum uint64
-	for b, c := range h.counts {
-		cum += c
-		if cum >= need {
-			return bucketUpper(b)
-		}
-	}
-	return bucketUpper(histBuckets - 1)
-}
-
 // LatencyRecorder accumulates per-request latency samples for one
-// function (or one system run).
+// function (or one system run). Its quantiles come from the shared
+// log-bucketed Histogram (histogram.go).
 type LatencyRecorder struct {
-	hist histogram
+	hist Histogram
 
 	served     uint64
 	dropped    uint64
@@ -116,7 +49,7 @@ func NewLatencyRecorder(slo time.Duration) *LatencyRecorder {
 // Observe records one served request.
 func (r *LatencyRecorder) Observe(s Sample) {
 	total := s.Total()
-	r.hist.add(total)
+	r.hist.Add(total)
 	r.served++
 	r.sumTotal += total
 	r.sumCold += s.Cold
@@ -163,7 +96,7 @@ func (r *LatencyRecorder) ViolationRate() float64 {
 
 // Percentile returns the q-quantile of end-to-end latency.
 func (r *LatencyRecorder) Percentile(q float64) time.Duration {
-	return r.hist.percentile(q)
+	return r.hist.Quantile(q)
 }
 
 // Mean returns the average end-to-end latency.
@@ -189,13 +122,7 @@ func (r *LatencyRecorder) Merge(o *LatencyRecorder) {
 	if o == nil {
 		return
 	}
-	if r.hist.counts == nil && o.hist.counts != nil {
-		r.hist.counts = make([]uint64, histBuckets)
-	}
-	for i, c := range o.hist.counts {
-		r.hist.counts[i] += c
-	}
-	r.hist.total += o.hist.total
+	r.hist.Merge(&o.hist)
 	r.served += o.served
 	r.dropped += o.dropped
 	r.coldCount += o.coldCount

@@ -1,0 +1,86 @@
+package runtime
+
+// event.go gives the Observer stream a value form: every hook maps to
+// one Event struct, so sinks that serialize, buffer, or forward events
+// (the telemetry trace writer, future shippers) handle one type instead
+// of re-implementing the eight-method interface.
+
+import (
+	"time"
+
+	"github.com/tanklab/infless/internal/metrics"
+	"github.com/tanklab/infless/internal/perf"
+)
+
+// EventKind names one Observer hook.
+type EventKind string
+
+// The event kinds, one per Observer method.
+const (
+	EventArrived   EventKind = "arrived"
+	EventEnqueued  EventKind = "enqueued"
+	EventBatch     EventKind = "batch"
+	EventServed    EventKind = "served"
+	EventDropped   EventKind = "dropped"
+	EventLaunched  EventKind = "launched"
+	EventReclaimed EventKind = "reclaimed"
+	EventAlloc     EventKind = "alloc"
+)
+
+// Event is one lifecycle event as a value. Only the fields relevant to
+// its Kind are set (e.g. Sample for EventServed, Alloc for EventAlloc).
+type Event struct {
+	Kind     EventKind
+	Fn       string
+	At       time.Duration
+	Instance int
+	// Batch is the drained batch size (EventBatch).
+	Batch int
+	// Cold and StartDelay describe a launch (EventLaunched).
+	Cold       bool
+	StartDelay time.Duration
+	// Sample is the latency decomposition of a served request
+	// (EventServed).
+	Sample metrics.Sample
+	// Alloc is the cluster-wide allocation (EventAlloc).
+	Alloc perf.Resources
+}
+
+// Tap adapts a func(Event) into an Observer: each hook invocation is
+// forwarded as one Event value. The callback runs on the emitting
+// plane's goroutine — gateway taps must be safe for concurrent use.
+type Tap struct {
+	Fn func(Event)
+}
+
+func (t Tap) RequestArrived(fn string, now time.Duration) {
+	t.Fn(Event{Kind: EventArrived, Fn: fn, At: now})
+}
+
+func (t Tap) RequestEnqueued(fn string, instance int, now time.Duration) {
+	t.Fn(Event{Kind: EventEnqueued, Fn: fn, Instance: instance, At: now})
+}
+
+func (t Tap) BatchSubmitted(fn string, instance, size int, now time.Duration) {
+	t.Fn(Event{Kind: EventBatch, Fn: fn, Instance: instance, Batch: size, At: now})
+}
+
+func (t Tap) RequestServed(fn string, s metrics.Sample, now time.Duration) {
+	t.Fn(Event{Kind: EventServed, Fn: fn, Sample: s, At: now})
+}
+
+func (t Tap) RequestDropped(fn string, now time.Duration) {
+	t.Fn(Event{Kind: EventDropped, Fn: fn, At: now})
+}
+
+func (t Tap) InstanceLaunched(fn string, instance int, cold bool, startDelay, now time.Duration) {
+	t.Fn(Event{Kind: EventLaunched, Fn: fn, Instance: instance, Cold: cold, StartDelay: startDelay, At: now})
+}
+
+func (t Tap) InstanceReclaimed(fn string, instance int, now time.Duration) {
+	t.Fn(Event{Kind: EventReclaimed, Fn: fn, Instance: instance, At: now})
+}
+
+func (t Tap) AllocationChanged(alloc perf.Resources, now time.Duration) {
+	t.Fn(Event{Kind: EventAlloc, Alloc: alloc, At: now})
+}

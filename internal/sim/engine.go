@@ -16,6 +16,7 @@ import (
 	"github.com/tanklab/infless/internal/runtime"
 	"github.com/tanklab/infless/internal/scheduler"
 	"github.com/tanklab/infless/internal/simclock"
+	"github.com/tanklab/infless/internal/telemetry"
 	"github.com/tanklab/infless/internal/workload"
 )
 
@@ -99,9 +100,11 @@ type Engine struct {
 	// Lifecycle events fan out to these observers; the engine's own
 	// metric sinks are plain runtime.Observer implementations, appended
 	// first so external observers see state after the built-ins update.
-	obs       runtime.Observers
-	resources *resourceObserver
-	provision *provisionObserver
+	obs runtime.Observers
+	// collector is the telemetry sink (engine-owned unless Config
+	// supplied one); every reported statistic — Report quantiles,
+	// resource integrals, provisioning series — reads from it.
+	collector *telemetry.Collector
 }
 
 // New creates an engine for the controller and configuration.
@@ -114,11 +117,19 @@ func New(ctrl Controller, cfg Config) *Engine {
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
 		byName: map[string]*FunctionState{},
 	}
-	e.resources = &resourceObserver{}
-	e.provision = &provisionObserver{}
-	e.obs = runtime.Observers{&metricsObserver{e: e, warmup: cfg.Warmup}, e.resources, e.provision}
+	e.collector = cfg.Collector
+	if e.collector == nil {
+		topts := cfg.Telemetry
+		topts.Warmup = cfg.Warmup
+		e.collector = telemetry.New(topts)
+	}
+	e.obs = runtime.Observers{&metricsObserver{e: e, warmup: cfg.Warmup}, e.collector}
 	return e
 }
+
+// Telemetry returns the engine's collector; read it during a run for
+// live statistics or after Run for the final state.
+func (e *Engine) Telemetry() *telemetry.Collector { return e.collector }
 
 // Observe attaches an additional lifecycle observer; events fire from
 // the engine's single event loop, after the built-in metric sinks.
@@ -144,6 +155,7 @@ func (e *Engine) AddFunction(spec FunctionSpec) *FunctionState {
 		batch:       runtime.BatchPolicy{SLO: spec.SLO},
 		rate:        runtime.NewRateEstimator(e.cfg.RateWindow),
 	}
+	e.collector.Register(spec.Name, spec.SLO)
 	e.fns = append(e.fns, f)
 	e.byName[spec.Name] = f
 	return f
@@ -182,6 +194,10 @@ type Result struct {
 	ProvisionTimes     []time.Duration
 	ProvisionSeries    []perf.Resources
 	FinalFragmentation float64
+
+	// Telemetry is the collector's final snapshot; reports and
+	// expositions derive from it rather than re-aggregating counters.
+	Telemetry telemetry.Snapshot
 }
 
 // Served sums completed requests over all functions.
@@ -272,17 +288,6 @@ func (e *Engine) Run() *Result {
 	}
 	e.clock.ScheduleAfter(e.cfg.ScaleInterval, tick)
 
-	if e.cfg.ProvisionSampleEvery > 0 {
-		var sample func()
-		sample = func() {
-			e.provision.sample(e.clock.Now())
-			if e.clock.Now()+e.cfg.ProvisionSampleEvery <= e.cfg.Duration {
-				e.clock.ScheduleAfter(e.cfg.ProvisionSampleEvery, sample)
-			}
-		}
-		e.clock.ScheduleAt(0, sample)
-	}
-
 	e.clock.RunUntil(e.cfg.Duration)
 
 	// Drain: unfinished pending requests are drops.
@@ -292,19 +297,26 @@ func (e *Engine) Run() *Result {
 		}
 		f.Pending = nil
 	}
-	e.resources.finish(e.cfg.Duration)
+	// Final allocation event closes the resource integral (and flushes
+	// remaining utilization-series samples) at end-of-run time.
+	e.obs.AllocationChanged(e.cfg.Cluster.TotalAllocated(), e.cfg.Duration)
 
-	return &Result{
+	snap := e.collector.SnapshotAt(e.cfg.Duration)
+	res := &Result{
 		System:             e.ctrl.Name(),
 		Duration:           e.cfg.Duration,
 		Functions:          e.fns,
-		ResourceSeconds:    e.resources.integ.WeightedSeconds(),
-		CPUCoreSeconds:     e.resources.integ.CPUCoreSeconds(),
-		GPUUnitSeconds:     e.resources.integ.GPUUnitSeconds(),
-		ProvisionTimes:     e.provision.times,
-		ProvisionSeries:    e.provision.series,
+		ResourceSeconds:    snap.Resources.WeightedSeconds,
+		CPUCoreSeconds:     snap.Resources.CPUCoreSeconds,
+		GPUUnitSeconds:     snap.Resources.GPUUnitSeconds,
 		FinalFragmentation: e.cfg.Cluster.FragmentationRatio(),
+		Telemetry:          snap,
 	}
+	for _, p := range snap.Resources.Series {
+		res.ProvisionTimes = append(res.ProvisionTimes, time.Duration(p.AtMs*float64(time.Millisecond)))
+		res.ProvisionSeries = append(res.ProvisionSeries, perf.Resources{CPU: p.CPUCores, GPU: p.GPUUnits})
+	}
+	return res
 }
 
 func (e *Engine) scheduleNextArrival(f *FunctionState, stream *workload.Stream) {

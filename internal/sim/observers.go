@@ -2,16 +2,17 @@ package sim
 
 // observers.go holds the engine's built-in runtime.Observer sinks. The
 // lifecycle code in lifecycle.go/instances.go only *emits* events; how
-// they are recorded — per-function latency recorders, batch-size
-// distributions, launch counters, resource-time integration and the
-// provisioning series — is observer business, so future recorders attach
-// via Engine.Observe without touching the engine.
+// they are recorded is observer business, so recorders attach via
+// Engine.Observe without touching the engine. The engine keeps exactly
+// two built-ins: this metricsObserver feeding the FunctionState
+// counters the controllers and tests read, and the telemetry.Collector
+// (engine.go) that produces every externally reported statistic —
+// resource-time integration and the provisioning series live there.
 
 import (
 	"time"
 
 	"github.com/tanklab/infless/internal/metrics"
-	"github.com/tanklab/infless/internal/perf"
 	"github.com/tanklab/infless/internal/runtime"
 )
 
@@ -62,34 +63,3 @@ func (m *metricsObserver) InstanceLaunched(fn string, _ int, cold bool, _, _ tim
 	}
 }
 
-// resourceObserver integrates allocation over time (the denominator of
-// throughput-per-resource, Figures 12/18).
-type resourceObserver struct {
-	runtime.NopObserver
-	integ metrics.ResourceIntegrator
-}
-
-func (r *resourceObserver) AllocationChanged(alloc perf.Resources, now time.Duration) {
-	r.integ.Update(now, alloc)
-}
-
-func (r *resourceObserver) finish(end time.Duration) { r.integ.Finish(end) }
-
-// provisionObserver tracks the current allocation from change events and
-// appends one point per engine-scheduled sample tick (Figure 14's
-// provisioning-over-time series).
-type provisionObserver struct {
-	runtime.NopObserver
-	cur    perf.Resources
-	times  []time.Duration
-	series []perf.Resources
-}
-
-func (p *provisionObserver) AllocationChanged(alloc perf.Resources, _ time.Duration) {
-	p.cur = alloc
-}
-
-func (p *provisionObserver) sample(now time.Duration) {
-	p.times = append(p.times, now)
-	p.series = append(p.series, p.cur)
-}

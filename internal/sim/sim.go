@@ -27,6 +27,7 @@ import (
 	"github.com/tanklab/infless/internal/cluster"
 	"github.com/tanklab/infless/internal/coldstart"
 	"github.com/tanklab/infless/internal/model"
+	"github.com/tanklab/infless/internal/telemetry"
 	"github.com/tanklab/infless/internal/workload"
 )
 
@@ -89,9 +90,15 @@ type Config struct {
 	// follow model.DefaultExecOptions.
 	Contention  float64
 	ExecNoiseSD float64
-	// ProvisionSampleEvery, when non-zero, records the cluster allocation
-	// at that period for provisioning-over-time plots (Figure 14).
-	ProvisionSampleEvery time.Duration
+	// Collector, when set, is the telemetry collector the engine feeds
+	// (a platform can share one collector across planes or read it while
+	// the run progresses). When nil the engine creates its own from
+	// Telemetry; either way Engine.Telemetry returns it.
+	Collector *telemetry.Collector
+	// Telemetry configures the engine-owned collector when Collector is
+	// nil (resource-series period, rolling window; Warmup is overridden
+	// by Config.Warmup).
+	Telemetry telemetry.Options
 	// Warmup excludes requests completing (or dropping) before this
 	// virtual time from the latency recorders, so steady-state metrics
 	// are not polluted by the initial scale-from-zero ramp. Resource

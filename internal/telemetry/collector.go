@@ -1,0 +1,310 @@
+// Package telemetry is the observability layer shared by both data
+// planes. A Collector subscribes to the runtime.Observer event stream —
+// from the discrete-event simulator or the wall-clock HTTP gateway,
+// unchanged — and maintains, per function: a log-bucketed latency
+// histogram (quantiles without storing samples), rolling-window
+// arrival/served/dropped rates and SLO attainment, batch-size and
+// queue-delay distributions, cold-start counts with a launch timeline,
+// and cluster-wide beta-weighted resource-utilization series.
+//
+// Every number the system reports — Report quantiles, the gateway's
+// Prometheus and JSON metrics, -trace dumps — is produced from this one
+// collector, so the two planes can never drift apart in how they
+// measure. The Observe hot path sits on every request event in both
+// planes and is allocation-free after a function's first event.
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/tanklab/infless/internal/metrics"
+	"github.com/tanklab/infless/internal/perf"
+)
+
+// Options configure a Collector.
+type Options struct {
+	// Window is the rolling-window width for rate and SLO-attainment
+	// figures (default 60s).
+	Window time.Duration
+	// ResourceSampleEvery, when non-zero, adds fixed-period points to the
+	// beta-weighted resource-utilization time series (Figure 14). Points
+	// at allocation changes and the resource-time integral are always
+	// maintained.
+	ResourceSampleEvery time.Duration
+	// Warmup excludes requests served or dropped before this plane time
+	// from latency and violation statistics (the simulator's warmup
+	// semantics); arrival, batch, and launch counters always accumulate.
+	Warmup time.Duration
+	// ColdTimelineCap bounds the retained launch timeline per function
+	// (default 512; 0 uses the default, negative disables the timeline).
+	ColdTimelineCap int
+}
+
+func (o *Options) defaults() {
+	if o.Window <= 0 {
+		o.Window = time.Minute
+	}
+	if o.ColdTimelineCap == 0 {
+		o.ColdTimelineCap = 512
+	}
+}
+
+// Collector implements runtime.Observer for either plane. The simulator
+// invokes it from its single event loop; the gateway from many request
+// and instance goroutines — all methods are safe for concurrent use.
+type Collector struct {
+	opts Options
+
+	mu  sync.RWMutex
+	fns map[string]*funcStats
+
+	// lastNs is the latest plane time observed (atomic max).
+	lastNs atomic.Int64
+
+	// rmu guards cluster-wide resource state.
+	rmu        sync.Mutex
+	integ      metrics.ResourceIntegrator
+	cur        perf.Resources
+	nextSample time.Duration
+	series     []ResourcePoint
+}
+
+// New creates a collector.
+func New(opts Options) *Collector {
+	opts.defaults()
+	return &Collector{opts: opts, fns: map[string]*funcStats{}}
+}
+
+// funcStats is one function's accumulated state, guarded by its own
+// mutex so functions never contend with each other.
+type funcStats struct {
+	mu  sync.Mutex
+	slo time.Duration
+
+	arrived    uint64
+	served     uint64
+	dropped    uint64
+	violations uint64
+	coldServed uint64
+
+	sumTotal time.Duration
+	sumCold  time.Duration
+	sumQueue time.Duration
+	sumExec  time.Duration
+
+	latency metrics.Histogram
+	queue   metrics.Histogram
+
+	batches     uint64
+	batchSum    uint64
+	batchServed map[int]uint64
+
+	launches     int
+	coldLaunches int
+	live         int
+	timeline     []LaunchPoint
+
+	win window
+}
+
+// Register pre-declares a function with its SLO; events for unknown
+// functions auto-register with no SLO (no violation accounting).
+func (c *Collector) Register(fn string, slo time.Duration) {
+	fs := c.stats(fn)
+	fs.mu.Lock()
+	fs.slo = slo
+	fs.mu.Unlock()
+}
+
+func (c *Collector) stats(fn string) *funcStats {
+	c.mu.RLock()
+	fs, ok := c.fns[fn]
+	c.mu.RUnlock()
+	if ok {
+		return fs
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if fs, ok = c.fns[fn]; ok {
+		return fs
+	}
+	fs = &funcStats{
+		batchServed: map[int]uint64{},
+		win:         newWindow(c.opts.Window),
+	}
+	c.fns[fn] = fs
+	return fs
+}
+
+func (c *Collector) noteTime(now time.Duration) {
+	for {
+		old := c.lastNs.Load()
+		if int64(now) <= old || c.lastNs.CompareAndSwap(old, int64(now)) {
+			return
+		}
+	}
+}
+
+// lastTime returns the latest plane time any event carried.
+func (c *Collector) lastTime() time.Duration { return time.Duration(c.lastNs.Load()) }
+
+// RequestArrived implements runtime.Observer.
+func (c *Collector) RequestArrived(fn string, now time.Duration) {
+	c.noteTime(now)
+	fs := c.stats(fn)
+	fs.mu.Lock()
+	fs.arrived++
+	fs.win.bucket(now).arrived++
+	fs.mu.Unlock()
+}
+
+// RequestEnqueued implements runtime.Observer (no per-enqueue state is
+// kept; queue delay is measured from the served sample's decomposition).
+func (c *Collector) RequestEnqueued(string, int, time.Duration) {}
+
+// BatchSubmitted implements runtime.Observer.
+func (c *Collector) BatchSubmitted(fn string, _, size int, now time.Duration) {
+	c.noteTime(now)
+	fs := c.stats(fn)
+	fs.mu.Lock()
+	fs.batches++
+	fs.batchSum += uint64(size)
+	fs.batchServed[size] += uint64(size)
+	fs.mu.Unlock()
+}
+
+// RequestServed implements runtime.Observer.
+func (c *Collector) RequestServed(fn string, s metrics.Sample, now time.Duration) {
+	c.noteTime(now)
+	if now < c.opts.Warmup {
+		return
+	}
+	total := s.Total()
+	fs := c.stats(fn)
+	fs.mu.Lock()
+	fs.served++
+	fs.sumTotal += total
+	fs.sumCold += s.Cold
+	fs.sumQueue += s.Queue
+	fs.sumExec += s.Exec
+	fs.latency.Add(total)
+	fs.queue.Add(s.Queue)
+	if s.Cold > 0 {
+		fs.coldServed++
+	}
+	b := fs.win.bucket(now)
+	b.served++
+	if fs.slo > 0 && total > fs.slo {
+		fs.violations++
+		b.violations++
+	}
+	fs.mu.Unlock()
+}
+
+// RequestDropped implements runtime.Observer.
+func (c *Collector) RequestDropped(fn string, now time.Duration) {
+	c.noteTime(now)
+	if now < c.opts.Warmup {
+		return
+	}
+	fs := c.stats(fn)
+	fs.mu.Lock()
+	fs.dropped++
+	fs.win.bucket(now).dropped++
+	fs.mu.Unlock()
+}
+
+// InstanceLaunched implements runtime.Observer.
+func (c *Collector) InstanceLaunched(fn string, _ int, cold bool, startDelay, now time.Duration) {
+	c.noteTime(now)
+	fs := c.stats(fn)
+	fs.mu.Lock()
+	fs.launches++
+	if cold {
+		fs.coldLaunches++
+	}
+	fs.live++
+	if c.opts.ColdTimelineCap > 0 && len(fs.timeline) < c.opts.ColdTimelineCap {
+		fs.timeline = append(fs.timeline, LaunchPoint{
+			AtMs:         ms(now),
+			Cold:         cold,
+			StartDelayMs: ms(startDelay),
+		})
+	}
+	fs.mu.Unlock()
+}
+
+// InstanceReclaimed implements runtime.Observer.
+func (c *Collector) InstanceReclaimed(fn string, _ int, now time.Duration) {
+	c.noteTime(now)
+	fs := c.stats(fn)
+	fs.mu.Lock()
+	if fs.live > 0 {
+		fs.live--
+	}
+	fs.mu.Unlock()
+}
+
+// AllocationChanged implements runtime.Observer: it advances the
+// resource-time integral and the utilization series. Every change in
+// allocation records a point; ResourceSampleEvery adds fixed-period
+// boundary points on top, where boundaries before now carry the
+// allocation that held since the previous change and a boundary exactly
+// at now carries the new allocation.
+func (c *Collector) AllocationChanged(alloc perf.Resources, now time.Duration) {
+	c.noteTime(now)
+	every := c.opts.ResourceSampleEvery
+	c.rmu.Lock()
+	if every > 0 {
+		for c.nextSample < now {
+			c.emitSample()
+			c.nextSample += every
+		}
+	}
+	// A first event with a zero allocation only seeds the series when no
+	// periodic boundary will record the same point anyway.
+	changed := alloc != c.cur || (len(c.series) == 0 && every == 0)
+	c.integ.Update(now, alloc)
+	c.cur = alloc
+	if changed {
+		c.series = append(c.series, ResourcePoint{
+			AtMs:     ms(now),
+			CPUCores: alloc.CPU,
+			GPUUnits: alloc.GPU,
+			Weighted: alloc.Weighted(),
+		})
+	}
+	if every > 0 {
+		for c.nextSample <= now {
+			c.emitSample()
+			c.nextSample += every
+		}
+	}
+	c.rmu.Unlock()
+}
+
+func (c *Collector) emitSample() {
+	c.series = append(c.series, ResourcePoint{
+		AtMs:     ms(c.nextSample),
+		CPUCores: c.cur.CPU,
+		GPUUnits: c.cur.GPU,
+		Weighted: c.cur.Weighted(),
+	})
+}
+
+// Functions returns the names of every observed function, sorted.
+func (c *Collector) Functions() []string {
+	c.mu.RLock()
+	names := make([]string, 0, len(c.fns))
+	for name := range c.fns {
+		names = append(names, name)
+	}
+	c.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

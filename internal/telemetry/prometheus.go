@@ -1,0 +1,111 @@
+package telemetry
+
+// prometheus.go renders a Snapshot in the Prometheus text exposition
+// format (version 0.0.4). The numbers are the same collector state the
+// JSON document and Report carry — only the encoding differs.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus writes the snapshot as Prometheus text exposition.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	b := &strings.Builder{}
+
+	counter := func(name, help string, emit func()) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		emit()
+	}
+	gauge := func(name, help string, emit func()) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+		emit()
+	}
+
+	counter("infless_requests_total", "Requests by function and outcome.", func() {
+		for _, f := range s.Functions {
+			fmt.Fprintf(b, "infless_requests_total{function=%q,outcome=\"served\"} %d\n", f.Name, f.Served)
+			fmt.Fprintf(b, "infless_requests_total{function=%q,outcome=\"dropped\"} %d\n", f.Name, f.Dropped)
+		}
+	})
+	counter("infless_slo_violations_total", "Served requests that exceeded the function SLO.", func() {
+		for _, f := range s.Functions {
+			fmt.Fprintf(b, "infless_slo_violations_total{function=%q} %d\n", f.Name, f.Violations)
+		}
+	})
+	counter("infless_cold_starts_total", "Instance launches that paid a full cold start.", func() {
+		for _, f := range s.Functions {
+			fmt.Fprintf(b, "infless_cold_starts_total{function=%q} %d\n", f.Name, f.ColdLaunches)
+		}
+	})
+	counter("infless_instance_launches_total", "Instance launches.", func() {
+		for _, f := range s.Functions {
+			fmt.Fprintf(b, "infless_instance_launches_total{function=%q} %d\n", f.Name, f.Launches)
+		}
+	})
+	counter("infless_batches_total", "Batches drained for execution.", func() {
+		for _, f := range s.Functions {
+			fmt.Fprintf(b, "infless_batches_total{function=%q} %d\n", f.Name, f.Batches)
+		}
+	})
+	counter("infless_batch_requests_total", "Requests by drained batch size.", func() {
+		for _, f := range s.Functions {
+			sizes := make([]int, 0, len(f.BatchServed))
+			for size := range f.BatchServed {
+				sizes = append(sizes, size)
+			}
+			sort.Ints(sizes)
+			for _, size := range sizes {
+				fmt.Fprintf(b, "infless_batch_requests_total{function=%q,size=\"%d\"} %d\n", f.Name, size, f.BatchServed[size])
+			}
+		}
+	})
+
+	gauge("infless_instances", "Live instances.", func() {
+		for _, f := range s.Functions {
+			fmt.Fprintf(b, "infless_instances{function=%q} %d\n", f.Name, f.LiveInstances)
+		}
+	})
+	gauge("infless_function_slo_seconds", "Declared latency SLO.", func() {
+		for _, f := range s.Functions {
+			fmt.Fprintf(b, "infless_function_slo_seconds{function=%q} %g\n", f.Name, f.SLOMs/1e3)
+		}
+	})
+	gauge("infless_window_arrival_rate", "Rolling-window arrival rate (requests/s).", func() {
+		for _, f := range s.Functions {
+			fmt.Fprintf(b, "infless_window_arrival_rate{function=%q} %g\n", f.Name, f.Window.ArrivalRate)
+		}
+	})
+	gauge("infless_window_slo_attainment", "Rolling-window fraction of requests meeting the SLO.", func() {
+		for _, f := range s.Functions {
+			fmt.Fprintf(b, "infless_window_slo_attainment{function=%q} %g\n", f.Name, f.Window.SLOAttainment)
+		}
+	})
+
+	fmt.Fprintf(b, "# HELP infless_request_latency_seconds End-to-end request latency.\n")
+	fmt.Fprintf(b, "# TYPE infless_request_latency_seconds histogram\n")
+	for _, f := range s.Functions {
+		for _, bk := range f.LatencyBuckets {
+			fmt.Fprintf(b, "infless_request_latency_seconds_bucket{function=%q,le=\"%g\"} %d\n",
+				f.Name, bk.UpperSeconds, bk.CumulativeCount)
+		}
+		fmt.Fprintf(b, "infless_request_latency_seconds_bucket{function=%q,le=\"+Inf\"} %d\n", f.Name, f.Served)
+		fmt.Fprintf(b, "infless_request_latency_seconds_sum{function=%q} %g\n", f.Name, f.LatencySumMs/1e3)
+		fmt.Fprintf(b, "infless_request_latency_seconds_count{function=%q} %d\n", f.Name, f.Served)
+	}
+
+	gauge("infless_cluster_cpu_cores", "Currently allocated CPU cores.", func() {
+		fmt.Fprintf(b, "infless_cluster_cpu_cores %d\n", s.Resources.CPUCores)
+	})
+	gauge("infless_cluster_gpu_units", "Currently allocated GPU SM units.", func() {
+		fmt.Fprintf(b, "infless_cluster_gpu_units %d\n", s.Resources.GPUUnits)
+	})
+	counter("infless_resource_weighted_seconds_total", "Beta-weighted resource-time integral.", func() {
+		fmt.Fprintf(b, "infless_resource_weighted_seconds_total %g\n", s.Resources.WeightedSeconds)
+	})
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}

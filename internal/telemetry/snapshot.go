@@ -1,0 +1,243 @@
+package telemetry
+
+// snapshot.go is the read side of the collector: an immutable, versioned,
+// JSON-marshalable view. Field names are a stable contract — the gateway
+// serves this document from GET /system/metrics, Report is built from
+// it, and tests round-trip it — so changes must bump SchemaVersion.
+
+import (
+	"sort"
+	"time"
+)
+
+// SchemaVersion identifies the snapshot document layout.
+const SchemaVersion = 1
+
+// Snapshot is one consistent view of everything the collector knows.
+type Snapshot struct {
+	SchemaVersion int                `json:"schemaVersion"`
+	AtMs          float64            `json:"atMs"` // plane time of the snapshot
+	WindowSeconds float64            `json:"windowSeconds"`
+	Functions     []FunctionSnapshot `json:"functions"`
+	Resources     ResourceSnapshot   `json:"resources"`
+}
+
+// FunctionSnapshot is one function's accumulated statistics.
+type FunctionSnapshot struct {
+	Name  string  `json:"name"`
+	SLOMs float64 `json:"sloMs"`
+
+	Arrived    uint64 `json:"arrived"`
+	Served     uint64 `json:"served"`
+	Dropped    uint64 `json:"dropped"`
+	Violations uint64 `json:"violations"`
+	ColdServed uint64 `json:"coldServed"`
+
+	SLOViolationRate float64 `json:"sloViolationRate"`
+	ColdStartRate    float64 `json:"coldStartRate"`
+
+	MeanMs float64 `json:"meanMs"`
+	P50Ms  float64 `json:"p50Ms"`
+	P95Ms  float64 `json:"p95Ms"`
+	P99Ms  float64 `json:"p99Ms"`
+	P999Ms float64 `json:"p999Ms"`
+
+	MeanColdMs  float64 `json:"meanColdMs"`
+	MeanQueueMs float64 `json:"meanQueueMs"`
+	MeanExecMs  float64 `json:"meanExecMs"`
+	QueueP50Ms  float64 `json:"queueP50Ms"`
+	QueueP99Ms  float64 `json:"queueP99Ms"`
+
+	Batches     uint64         `json:"batches"`
+	MeanBatch   float64        `json:"meanBatch"`
+	BatchServed map[int]uint64 `json:"batchServed"` // drained size -> requests
+
+	Launches      int           `json:"launches"`
+	ColdLaunches  int           `json:"coldLaunches"`
+	LiveInstances int           `json:"liveInstances"`
+	ColdTimeline  []LaunchPoint `json:"coldTimeline,omitempty"`
+
+	Window WindowSnapshot `json:"window"`
+
+	// LatencyBuckets is the cumulative latency histogram backing the
+	// Prometheus exposition; the JSON document carries quantiles instead.
+	LatencyBuckets []HistBucket `json:"-"`
+	LatencySumMs   float64      `json:"-"`
+}
+
+// LaunchPoint is one instance launch on the warm/cold timeline
+// (Figure 16's cold-start timeline).
+type LaunchPoint struct {
+	AtMs         float64 `json:"atMs"`
+	Cold         bool    `json:"cold"`
+	StartDelayMs float64 `json:"startDelayMs"`
+}
+
+// WindowSnapshot is the rolling-window view of one function.
+type WindowSnapshot struct {
+	Seconds       float64 `json:"seconds"` // window width actually covered
+	ArrivalRate   float64 `json:"arrivalRate"`
+	ServedRate    float64 `json:"servedRate"`
+	DropRate      float64 `json:"dropRate"`
+	SLOAttainment float64 `json:"sloAttainment"`
+}
+
+// ResourceSnapshot is the cluster-wide resource view.
+type ResourceSnapshot struct {
+	CPUCores        int             `json:"cpuCores"` // current allocation
+	GPUUnits        int             `json:"gpuUnits"`
+	CPUCoreSeconds  float64         `json:"cpuCoreSeconds"` // integrals to AtMs
+	GPUUnitSeconds  float64         `json:"gpuUnitSeconds"`
+	WeightedSeconds float64         `json:"weightedSeconds"`
+	Series          []ResourcePoint `json:"series,omitempty"`
+}
+
+// ResourcePoint is one sample of the utilization time series.
+type ResourcePoint struct {
+	AtMs     float64 `json:"atMs"`
+	CPUCores int     `json:"cpuCores"`
+	GPUUnits int     `json:"gpuUnits"`
+	Weighted float64 `json:"weighted"`
+}
+
+// HistBucket is one cumulative latency-histogram bucket.
+type HistBucket struct {
+	UpperSeconds    float64
+	CumulativeCount uint64
+}
+
+// Snapshot captures the collector at the latest observed plane time.
+func (c *Collector) Snapshot() Snapshot { return c.SnapshotAt(c.lastTime()) }
+
+// SnapshotAt captures the collector as of plane time now (resource
+// integrals are projected to now with the current allocation held).
+func (c *Collector) SnapshotAt(now time.Duration) Snapshot {
+	s := Snapshot{
+		SchemaVersion: SchemaVersion,
+		AtMs:          ms(now),
+		WindowSeconds: (time.Duration(winBuckets) * newWindow(c.opts.Window).width).Seconds(),
+	}
+
+	c.mu.RLock()
+	names := make([]string, 0, len(c.fns))
+	stats := make([]*funcStats, 0, len(c.fns))
+	for name, fs := range c.fns {
+		names = append(names, name)
+		stats = append(stats, fs)
+	}
+	c.mu.RUnlock()
+	order := make([]int, len(names))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return names[order[a]] < names[order[b]] })
+
+	for _, i := range order {
+		s.Functions = append(s.Functions, snapshotFunc(names[i], stats[i], now))
+	}
+
+	c.rmu.Lock()
+	integ := c.integ // copy, then project without mutating the live state
+	if now > 0 {
+		integ.Finish(now)
+	}
+	s.Resources = ResourceSnapshot{
+		CPUCores:        c.cur.CPU,
+		GPUUnits:        c.cur.GPU,
+		CPUCoreSeconds:  integ.CPUCoreSeconds(),
+		GPUUnitSeconds:  integ.GPUUnitSeconds(),
+		WeightedSeconds: integ.WeightedSeconds(),
+		Series:          append([]ResourcePoint(nil), c.series...),
+	}
+	c.rmu.Unlock()
+	return s
+}
+
+func snapshotFunc(name string, fs *funcStats, now time.Duration) FunctionSnapshot {
+	fs.mu.Lock()
+	out := FunctionSnapshot{
+		Name:          name,
+		SLOMs:         ms(fs.slo),
+		Arrived:       fs.arrived,
+		Served:        fs.served,
+		Dropped:       fs.dropped,
+		Violations:    fs.violations,
+		ColdServed:    fs.coldServed,
+		Batches:       fs.batches,
+		Launches:      fs.launches,
+		ColdLaunches:  fs.coldLaunches,
+		LiveInstances: fs.live,
+		BatchServed:   make(map[int]uint64, len(fs.batchServed)),
+		ColdTimeline:  append([]LaunchPoint(nil), fs.timeline...),
+	}
+	for b, n := range fs.batchServed {
+		out.BatchServed[b] = n
+	}
+	lat := fs.latency.Clone()
+	queue := fs.queue.Clone()
+	sumTotal, sumCold, sumQueue, sumExec := fs.sumTotal, fs.sumCold, fs.sumQueue, fs.sumExec
+	arr, served, dropped, viol, covered := fs.win.tally(now)
+	fs.mu.Unlock()
+
+	if out.Served > 0 {
+		n := time.Duration(out.Served)
+		out.MeanMs = ms(sumTotal / n)
+		out.MeanColdMs = ms(sumCold / n)
+		out.MeanQueueMs = ms(sumQueue / n)
+		out.MeanExecMs = ms(sumExec / n)
+		out.ColdStartRate = float64(out.ColdServed) / float64(out.Served)
+	}
+	if all := out.Served + out.Dropped; all > 0 {
+		out.SLOViolationRate = float64(out.Violations+out.Dropped) / float64(all)
+	}
+	if out.Batches > 0 {
+		out.MeanBatch = float64(fsBatchSum(out.BatchServed)) / float64(out.Batches)
+	}
+	out.P50Ms = ms(lat.Quantile(0.50))
+	out.P95Ms = ms(lat.Quantile(0.95))
+	out.P99Ms = ms(lat.Quantile(0.99))
+	out.P999Ms = ms(lat.Quantile(0.999))
+	out.QueueP50Ms = ms(queue.Quantile(0.50))
+	out.QueueP99Ms = ms(queue.Quantile(0.99))
+	out.LatencySumMs = ms(sumTotal)
+	var cum uint64
+	lat.Each(func(upper time.Duration, count uint64) {
+		cum += count
+		out.LatencyBuckets = append(out.LatencyBuckets, HistBucket{
+			UpperSeconds:    upper.Seconds(),
+			CumulativeCount: cum,
+		})
+	})
+
+	w := WindowSnapshot{Seconds: covered.Seconds(), SLOAttainment: 1}
+	if covered > 0 {
+		sec := covered.Seconds()
+		w.ArrivalRate = float64(arr) / sec
+		w.ServedRate = float64(served) / sec
+		w.DropRate = float64(dropped) / sec
+	}
+	if all := served + dropped; all > 0 {
+		w.SLOAttainment = 1 - float64(viol+dropped)/float64(all)
+	}
+	out.Window = w
+	return out
+}
+
+func fsBatchSum(batchServed map[int]uint64) uint64 {
+	var n uint64
+	for _, reqs := range batchServed {
+		n += reqs
+	}
+	return n
+}
+
+// Function returns one function's snapshot (ok=false when unobserved).
+func (c *Collector) Function(name string) (FunctionSnapshot, bool) {
+	c.mu.RLock()
+	fs, ok := c.fns[name]
+	c.mu.RUnlock()
+	if !ok {
+		return FunctionSnapshot{}, false
+	}
+	return snapshotFunc(name, fs, c.lastTime()), true
+}

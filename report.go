@@ -1,124 +1,189 @@
 package infless
 
+// report.go renders run results. Every statistic here is read from the
+// telemetry.Snapshot the collector produced — the same document the
+// gateway serves and Telemetry.WriteJSON emits — so the Report, the JSON
+// APIs and the Prometheus exposition can never disagree. Field names
+// carry explicit JSON tags and the document round-trips through
+// encoding/json (see Report.WriteJSON).
+
 import (
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"time"
 
 	"github.com/tanklab/infless/internal/coldstart"
 	"github.com/tanklab/infless/internal/sim"
+	"github.com/tanklab/infless/internal/telemetry"
 )
 
 // Report summarizes one platform run with the metrics the paper's
-// evaluation reports.
+// evaluation reports. Durations marshal as nanosecond integers.
 type Report struct {
-	System   string
-	Duration time.Duration
+	System   string        `json:"system"`
+	Duration time.Duration `json:"duration"`
 
-	Served  uint64
-	Dropped uint64
+	Arrived uint64 `json:"arrived"`
+	Served  uint64 `json:"served"`
+	Dropped uint64 `json:"dropped"`
 	// Throughput is served requests per second of run time.
-	Throughput float64
+	Throughput float64 `json:"throughput"`
 	// ThroughputPerResource is the paper's normalized throughput: served
 	// requests per beta-weighted resource-second (Figures 12 and 18).
-	ThroughputPerResource float64
+	ThroughputPerResource float64 `json:"throughputPerResource"`
 	// SLOViolationRate counts late responses and drops (Figure 15a).
-	SLOViolationRate float64
+	SLOViolationRate float64 `json:"sloViolationRate"`
 	// Fragmentation is the final resource-fragment ratio (Figure 17b).
-	Fragmentation float64
-	// CPUCoreSeconds / GPUUnitSeconds are the integrated resource use.
-	CPUCoreSeconds float64
-	GPUUnitSeconds float64
+	Fragmentation float64 `json:"fragmentation"`
+	// CPUCoreSeconds / GPUUnitSeconds are the integrated resource use;
+	// ResourceSeconds is their beta-weighted combination.
+	CPUCoreSeconds  float64 `json:"cpuCoreSeconds"`
+	GPUUnitSeconds  float64 `json:"gpuUnitSeconds"`
+	ResourceSeconds float64 `json:"resourceSeconds"`
 
-	Functions []FunctionReport
+	Functions []FunctionReport `json:"functions"`
 
-	// Provisioning is the sampled allocation time series (only when
-	// Options.ProvisionSampleEvery was set; Figure 14).
-	Provisioning []ProvisionSample
+	// Provisioning is the allocation time series (Figure 14): every
+	// allocation change, plus fixed-period samples when
+	// Options.Telemetry.ResourceSampleEvery is set.
+	Provisioning []ProvisionSample `json:"provisioning,omitempty"`
 }
 
 // FunctionReport is the per-function view.
 type FunctionReport struct {
-	Name             string
-	SLO              time.Duration
-	Served           uint64
-	Dropped          uint64
-	SLOViolationRate float64
-	ColdStartRate    float64
-	MeanLatency      time.Duration
-	P99Latency       time.Duration
+	Name             string        `json:"name"`
+	SLO              time.Duration `json:"slo"`
+	Arrived          uint64        `json:"arrived"`
+	Served           uint64        `json:"served"`
+	Dropped          uint64        `json:"dropped"`
+	SLOViolationRate float64       `json:"sloViolationRate"`
+	ColdStartRate    float64       `json:"coldStartRate"`
+	MeanLatency      time.Duration `json:"meanLatency"`
+	P50Latency       time.Duration `json:"p50Latency"`
+	P95Latency       time.Duration `json:"p95Latency"`
+	P99Latency       time.Duration `json:"p99Latency"`
+	P999Latency      time.Duration `json:"p999Latency"`
 	// Breakdown components (Figure 15 b/c): mean cold-start wait, batch
 	// queuing and execution time of served requests.
-	MeanCold  time.Duration
-	MeanQueue time.Duration
-	MeanExec  time.Duration
+	MeanCold  time.Duration `json:"meanCold"`
+	MeanQueue time.Duration `json:"meanQueue"`
+	MeanExec  time.Duration `json:"meanExec"`
+	// MeanBatch is the mean executed batch size.
+	MeanBatch float64 `json:"meanBatch"`
 	// Launches / ColdLaunches count instance starts.
-	Launches     int
-	ColdLaunches int
+	Launches     int `json:"launches"`
+	ColdLaunches int `json:"coldLaunches"`
 	// BatchUsage maps executed batch size -> requests served at that size
 	// (Figure 13 a/b).
-	BatchUsage map[int]uint64
+	BatchUsage map[int]uint64 `json:"batchUsage,omitempty"`
 	// ConfigUsage maps "(b,c,g)" labels -> instances launched with that
-	// configuration (Figure 13c).
-	ConfigUsage map[string]int
+	// configuration (Figure 13c). Engine state, absent in mid-run reports.
+	ConfigUsage map[string]int `json:"configUsage,omitempty"`
 }
 
 // ProvisionSample is one point of the provisioning time series.
 type ProvisionSample struct {
-	At       time.Duration
-	CPUCores int
-	GPUUnits int
+	At       time.Duration `json:"at"`
+	CPUCores int           `json:"cpuCores"`
+	GPUUnits int           `json:"gpuUnits"`
 }
 
-func buildReport(res *sim.Result) *Report {
+// reportFromSnapshot fills every telemetry-derived Report field; run-only
+// engine state (fragmentation, per-configuration usage) stays zero.
+func reportFromSnapshot(system string, duration time.Duration, snap telemetry.Snapshot) *Report {
 	r := &Report{
-		System:                res.System,
-		Duration:              res.Duration,
-		Served:                res.Served(),
-		Dropped:               res.Dropped(),
-		Throughput:            res.Throughput(),
-		ThroughputPerResource: res.ThroughputPerResource(),
-		SLOViolationRate:      res.ViolationRate(),
-		Fragmentation:         res.FinalFragmentation,
-		CPUCoreSeconds:        res.CPUCoreSeconds,
-		GPUUnitSeconds:        res.GPUUnitSeconds,
+		System:          system,
+		Duration:        duration,
+		CPUCoreSeconds:  snap.Resources.CPUCoreSeconds,
+		GPUUnitSeconds:  snap.Resources.GPUUnitSeconds,
+		ResourceSeconds: snap.Resources.WeightedSeconds,
 	}
-	for i, at := range res.ProvisionTimes {
-		r.Provisioning = append(r.Provisioning, ProvisionSample{
-			At:       at,
-			CPUCores: res.ProvisionSeries[i].CPU,
-			GPUUnits: res.ProvisionSeries[i].GPU,
-		})
-	}
-	for _, f := range res.Functions {
-		cold, queue, exec := f.Recorder.Breakdown()
+	var violations uint64
+	for _, f := range snap.Functions {
+		r.Arrived += f.Arrived
+		r.Served += f.Served
+		r.Dropped += f.Dropped
+		violations += f.Violations
 		fr := FunctionReport{
-			Name:             f.Spec.Name,
-			SLO:              f.Spec.SLO,
-			Served:           f.Recorder.Served(),
-			Dropped:          f.Recorder.Dropped(),
-			SLOViolationRate: f.Recorder.ViolationRate(),
-			ColdStartRate:    f.Recorder.ColdRate(),
-			MeanLatency:      f.Recorder.Mean(),
-			P99Latency:       f.Recorder.Percentile(0.99),
-			MeanCold:         cold,
-			MeanQueue:        queue,
-			MeanExec:         exec,
+			Name:             f.Name,
+			SLO:              msDuration(f.SLOMs),
+			Arrived:          f.Arrived,
+			Served:           f.Served,
+			Dropped:          f.Dropped,
+			SLOViolationRate: f.SLOViolationRate,
+			ColdStartRate:    f.ColdStartRate,
+			MeanLatency:      msDuration(f.MeanMs),
+			P50Latency:       msDuration(f.P50Ms),
+			P95Latency:       msDuration(f.P95Ms),
+			P99Latency:       msDuration(f.P99Ms),
+			P999Latency:      msDuration(f.P999Ms),
+			MeanCold:         msDuration(f.MeanColdMs),
+			MeanQueue:        msDuration(f.MeanQueueMs),
+			MeanExec:         msDuration(f.MeanExecMs),
+			MeanBatch:        f.MeanBatch,
 			Launches:         f.Launches,
 			ColdLaunches:     f.ColdLaunches,
-			BatchUsage:       map[int]uint64{},
-			ConfigUsage:      map[string]int{},
 		}
-		for b, n := range f.BatchServed {
-			fr.BatchUsage[b] = n
-		}
-		for c, n := range f.ConfigCount {
-			fr.ConfigUsage[c] = n
+		if len(f.BatchServed) > 0 {
+			fr.BatchUsage = make(map[int]uint64, len(f.BatchServed))
+			for b, n := range f.BatchServed {
+				fr.BatchUsage[b] = n
+			}
 		}
 		r.Functions = append(r.Functions, fr)
 	}
+	if duration > 0 {
+		r.Throughput = float64(r.Served) / duration.Seconds()
+	}
+	if r.ResourceSeconds > 0 {
+		r.ThroughputPerResource = float64(r.Served) / r.ResourceSeconds
+	}
+	if all := r.Served + r.Dropped; all > 0 {
+		r.SLOViolationRate = float64(violations+r.Dropped) / float64(all)
+	}
+	for _, p := range snap.Resources.Series {
+		r.Provisioning = append(r.Provisioning, ProvisionSample{
+			At:       msDuration(p.AtMs),
+			CPUCores: p.CPUCores,
+			GPUUnits: p.GPUUnits,
+		})
+	}
 	return r
+}
+
+// buildReport completes a snapshot-derived report with the engine state
+// only a finished run knows: fragmentation and configuration usage.
+func buildReport(res *sim.Result) *Report {
+	r := reportFromSnapshot(res.System, res.Duration, res.Telemetry)
+	r.Fragmentation = res.FinalFragmentation
+	byName := make(map[string]*sim.FunctionState, len(res.Functions))
+	for _, f := range res.Functions {
+		byName[f.Spec.Name] = f
+	}
+	for i := range r.Functions {
+		f, ok := byName[r.Functions[i].Name]
+		if !ok || len(f.ConfigCount) == 0 {
+			continue
+		}
+		r.Functions[i].ConfigUsage = make(map[string]int, len(f.ConfigCount))
+		for c, n := range f.ConfigCount {
+			r.Functions[i].ConfigUsage[c] = n
+		}
+	}
+	return r
+}
+
+func msDuration(ms float64) time.Duration {
+	return time.Duration(ms * float64(time.Millisecond))
+}
+
+// WriteJSON writes the report as indented JSON. The document uses the
+// stable field names of the json tags above and unmarshals back into a
+// Report unchanged (see TestReportJSONRoundTrip).
+func (r *Report) WriteJSON(w io.Writer) error {
+	return writeIndentedJSON(w, r)
 }
 
 // String renders a human-readable summary table.

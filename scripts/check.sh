@@ -14,8 +14,8 @@ echo "== go vet"
 go vet ./...
 echo "== go test"
 go test ./...
-echo "== go test -race (gateway + runtime)"
-go test -race ./internal/gateway/... ./internal/runtime/...
+echo "== go test -race (gateway + runtime + telemetry)"
+go test -race ./internal/gateway/... ./internal/runtime/... ./internal/telemetry/...
 
 echo "== single-definition guards"
 fail=0
@@ -36,6 +36,13 @@ single_def 'func BatchTimeout(' internal/runtime/runtime.go
 single_def 'type RateEstimator struct' internal/runtime/rate.go
 single_def 'type Pool[' internal/runtime/pool.go
 single_def 'func ScaleAheadTarget(' internal/runtime/runtime.go
+
+# Telemetry single-sourcing: the log-bucketed histogram and its quantile
+# estimator are the only latency-quantile implementation in the tree —
+# every Report figure, Prometheus bucket, and JSON snapshot goes through
+# them.
+single_def 'type Histogram struct' internal/metrics/histogram.go
+single_def 'func (h *Histogram) Quantile(' internal/metrics/histogram.go
 
 # forbid REGEX WHY: private re-implementations of runtime policies must
 # not reappear in the data planes.
