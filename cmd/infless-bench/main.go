@@ -5,8 +5,16 @@
 //
 //	infless-bench -list
 //	infless-bench -run fig11
-//	infless-bench -run all -full
+//	infless-bench -run all -full -parallel 8
 //	infless-bench -run fig12 -json > fig12.json
+//
+// -parallel fans independent experiments (and sweep points within an
+// experiment) across a worker pool; output is byte-identical to a serial
+// run, in the same order — parallelism only changes the wall clock. The
+// one exception is fig17a, whose cells are measured host wall clock (it
+// runs exclusively, with no other experiment in flight, so the numbers
+// stay meaningful at any -parallel). Timing chatter goes to stderr so
+// stdout stays comparable.
 package main
 
 import (
@@ -14,19 +22,23 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"time"
+	"runtime"
+	"runtime/pprof"
 
 	"github.com/tanklab/infless/internal/bench"
 )
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list experiment IDs and exit")
-		run     = flag.String("run", "all", "experiment ID to run, or 'all'")
-		full    = flag.Bool("full", false, "full-length runs (default: quick)")
-		seed    = flag.Int64("seed", 1, "random seed")
-		format  = flag.String("format", "table", "output format: table | csv")
-		jsonOut = flag.Bool("json", false, "print result tables as JSON (overrides -format)")
+		list       = flag.Bool("list", false, "list experiment IDs and exit")
+		run        = flag.String("run", "all", "experiment ID to run, or 'all'")
+		full       = flag.Bool("full", false, "full-length runs (default: quick)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		format     = flag.String("format", "table", "output format: table | csv")
+		jsonOut    = flag.Bool("json", false, "print result tables as JSON (overrides -format)")
+		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for experiments and sweep points (1 = serial)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -36,36 +48,57 @@ func main() {
 		}
 		return
 	}
-	opts := bench.Options{Quick: !*full, Seed: *seed}
-	runOne := func(e bench.Experiment) {
-		start := time.Now()
-		table := e.Run(opts)
-		if *jsonOut {
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	opts := bench.Options{Quick: !*full, Seed: *seed, Parallel: *parallel}
+	emit := func(r bench.RunResult) {
+		table := r.Table
+		switch {
+		case *jsonOut:
 			enc := json.NewEncoder(os.Stdout)
 			enc.SetIndent("", "  ")
 			if err := enc.Encode(table); err != nil {
-				fmt.Fprintln(os.Stderr, "infless-bench:", err)
-				os.Exit(1)
+				fatal(err)
 			}
-			return
-		}
-		if *format == "csv" {
+		case *format == "csv":
 			fmt.Printf("# %s: %s\n%s\n", table.ID, table.Title, table.CSV())
-			return
+		default:
+			fmt.Println(table.String())
 		}
-		fmt.Println(table.String())
-		fmt.Printf("(%s took %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "(%s took %v)\n", r.Experiment.ID, r.Took.Round(1e6))
 	}
-	if *run == "all" {
-		for _, e := range bench.All() {
-			runOne(e)
+	exps := bench.All()
+	if *run != "all" {
+		e, ok := bench.ByID(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *run)
+			os.Exit(1)
 		}
-		return
+		exps = []bench.Experiment{e}
 	}
-	e, ok := bench.ByID(*run)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *run)
-		os.Exit(1)
+	bench.RunStream(exps, opts, *parallel, emit)
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
 	}
-	runOne(e)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "infless-bench:", err)
+	os.Exit(1)
 }

@@ -23,6 +23,10 @@ type Options struct {
 	Quick bool
 	// Seed drives all randomness (default 1).
 	Seed int64
+	// Parallel is the worker count for sweep-style experiments that fan
+	// their points across goroutines (<= 1 means serial). Results are
+	// identical at any setting; see runner.go's determinism contract.
+	Parallel int
 }
 
 func (o *Options) defaults() {
@@ -156,34 +160,41 @@ type Experiment struct {
 	ID   string
 	Desc string
 	Run  func(Options) *Table
+	// WallClock marks experiments whose table cells are host time
+	// measurements (fig17a's scheduling overhead). RunStream runs them
+	// with no other experiment in flight so -parallel does not distort
+	// the measurement, and the byte-identical determinism contract
+	// covers their structure but not their measured cell values — wall
+	// clock is a property of the host, not of the seed.
+	WallClock bool
 }
 
 // All returns every reproducible experiment in paper order.
 func All() []Experiment {
 	return []Experiment{
-		{"table1", "Model zoo (Table 1)", Table1},
-		{"fig2a", "Lambda latency heatmap, no batching", Fig2a},
-		{"fig2b", "Lambda latency heatmap, OTP batching", Fig2b},
-		{"fig2c", "Lambda memory over-provisioning", Fig2c},
-		{"fig2d", "Production latency SLO distribution", Fig2d},
-		{"fig3a", "Instances: one-to-one vs OTP batching", Fig3a},
-		{"fig3b", "Throughput: one-to-one vs OTP vs INFless", Fig3b},
-		{"fig7", "Operator frequency and time share", Fig7},
-		{"fig8", "COP prediction error", Fig8},
-		{"fig11", "Max throughput + component ablation", Fig11},
-		{"fig12a", "Normalized throughput across traces", Fig12a},
-		{"fig12b", "Normalized throughput across SLOs", Fig12b},
-		{"fig13", "Batchsize and resource configuration mix", Fig13},
-		{"fig14", "Resource provisioning over time", Fig14},
-		{"fig15", "SLO violations and latency breakdown", Fig15},
-		{"fig16", "Cold-start rate: LSTH vs HHP vs fixed", Fig16},
-		{"fig17a", "Scheduling overhead at scale", Fig17a},
-		{"fig17b", "Resource fragmentation at scale", Fig17b},
-		{"fig18a", "Large-scale throughput vs #functions", Fig18a},
-		{"fig18b", "Large-scale throughput vs SLO", Fig18b},
-		{"table4", "Computation cost comparison (Table 4)", Table4},
-		{"alpha", "Ablation: dispatcher alpha sweep", AlphaSweep},
-		{"queueing", "Validation: analytic batch-queueing model vs simulator", QueueingValidation},
+		{ID: "table1", Desc: "Model zoo (Table 1)", Run: Table1},
+		{ID: "fig2a", Desc: "Lambda latency heatmap, no batching", Run: Fig2a},
+		{ID: "fig2b", Desc: "Lambda latency heatmap, OTP batching", Run: Fig2b},
+		{ID: "fig2c", Desc: "Lambda memory over-provisioning", Run: Fig2c},
+		{ID: "fig2d", Desc: "Production latency SLO distribution", Run: Fig2d},
+		{ID: "fig3a", Desc: "Instances: one-to-one vs OTP batching", Run: Fig3a},
+		{ID: "fig3b", Desc: "Throughput: one-to-one vs OTP vs INFless", Run: Fig3b},
+		{ID: "fig7", Desc: "Operator frequency and time share", Run: Fig7},
+		{ID: "fig8", Desc: "COP prediction error", Run: Fig8},
+		{ID: "fig11", Desc: "Max throughput + component ablation", Run: Fig11},
+		{ID: "fig12a", Desc: "Normalized throughput across traces", Run: Fig12a},
+		{ID: "fig12b", Desc: "Normalized throughput across SLOs", Run: Fig12b},
+		{ID: "fig13", Desc: "Batchsize and resource configuration mix", Run: Fig13},
+		{ID: "fig14", Desc: "Resource provisioning over time", Run: Fig14},
+		{ID: "fig15", Desc: "SLO violations and latency breakdown", Run: Fig15},
+		{ID: "fig16", Desc: "Cold-start rate: LSTH vs HHP vs fixed", Run: Fig16},
+		{ID: "fig17a", Desc: "Scheduling overhead at scale", Run: Fig17a, WallClock: true},
+		{ID: "fig17b", Desc: "Resource fragmentation at scale", Run: Fig17b},
+		{ID: "fig18a", Desc: "Large-scale throughput vs #functions", Run: Fig18a},
+		{ID: "fig18b", Desc: "Large-scale throughput vs SLO", Run: Fig18b},
+		{ID: "table4", Desc: "Computation cost comparison (Table 4)", Run: Table4},
+		{ID: "alpha", Desc: "Ablation: dispatcher alpha sweep", Run: AlphaSweep},
+		{ID: "queueing", Desc: "Validation: analytic batch-queueing model vs simulator", Run: QueueingValidation},
 	}
 }
 

@@ -217,11 +217,13 @@ func Fig12b(opts Options) *Table {
 	dur := opts.dur(30*time.Second, 2*time.Minute)
 	t := &Table{ID: "fig12b", Title: "Stress goodput per resource across latency SLOs (OSVT)",
 		Cols: []string{"infless", "batch", "ratio"}}
-	for _, slo := range []time.Duration{100, 200, 300, 400, 500} {
-		sloDur := slo * time.Millisecond
+	slos := []time.Duration{100, 200, 300, 400, 500}
+	points := make([][2]float64, len(slos))
+	opts.parallelFor(len(slos), func(i int) {
+		sloDur := slos[i] * time.Millisecond
 		fns := osvtFns(15000)
-		for i := range fns {
-			fns[i].slo = sloDur
+		for j := range fns {
+			fns[j].slo = sloDur
 		}
 		run := func(sys string) float64 {
 			warmup := dur / 4
@@ -231,8 +233,11 @@ func Fig12b(opts Options) *Table {
 			}
 			return goodput(res, warmup) * res.Duration.Seconds() / res.ResourceSeconds
 		}
-		vi, vb := run("infless"), run("batch")
-		t.AddRow(fmt.Sprintf("slo=%v", sloDur), f2(vi), f2(vb), fmt.Sprintf("%.2fx", vi/vb))
+		points[i] = [2]float64{run("infless"), run("batch")}
+	})
+	for i, slo := range slos {
+		vi, vb := points[i][0], points[i][1]
+		t.AddRow(fmt.Sprintf("slo=%v", slo*time.Millisecond), f2(vi), f2(vb), fmt.Sprintf("%.2fx", vi/vb))
 	}
 	t.Note("paper: INFless 1.6x-3.5x over BATCH across SLOs")
 	return t
@@ -429,8 +434,13 @@ func Fig16(opts Options) *Table {
 		}
 	}
 	order := []string{"fixed-300s", "hhp", "lsth-0.3", "lsth-0.5", "lsth-0.7"}
-	hhpCold := 0.0
-	for _, name := range order {
+	type polRow struct {
+		cells    []string
+		meanCold float64
+	}
+	rows := make([]polRow, len(order))
+	opts.parallelFor(len(order), func(i int) {
+		name := order[i]
 		var cells []string
 		var coldSum, wasteSum float64
 		for _, pattern := range []string{"sporadic", "periodic", "bursty"} {
@@ -441,11 +451,15 @@ func Fig16(opts Options) *Table {
 			wasteSum += r.WastePerInvocation().Seconds()
 		}
 		meanCold := coldSum / 3
-		if name == "hhp" {
-			hhpCold = meanCold
-		}
 		cells = append(cells, pct(meanCold), fmt.Sprintf("%.1f", wasteSum/3))
-		t.AddRow(name, cells...)
+		rows[i] = polRow{cells: cells, meanCold: meanCold}
+	})
+	hhpCold := 0.0
+	for i, name := range order {
+		if name == "hhp" {
+			hhpCold = rows[i].meanCold
+		}
+		t.AddRow(name, rows[i].cells...)
 	}
 	if hhpCold > 0 {
 		t.Note("paper: LSTH reduces cold-start rate by 21.9%% vs HHP (measured above via meanCold) and idle waste by 24.3%%")

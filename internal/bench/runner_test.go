@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRunStreamOrdered: emission must follow input order with all
+// results intact, regardless of which worker finishes first.
+func TestRunStreamOrdered(t *testing.T) {
+	var running int32
+	var sawParallel, exclusiveViolated atomic.Bool
+	exps := make([]Experiment, 24)
+	for i := range exps {
+		i := i
+		wallClock := i == 11 // one exclusively-scheduled experiment mid-pack
+		exps[i] = Experiment{
+			ID:        fmt.Sprintf("exp%02d", i),
+			WallClock: wallClock,
+			Run: func(o Options) *Table {
+				n := atomic.AddInt32(&running, 1)
+				if n > 1 {
+					sawParallel.Store(true)
+					if wallClock {
+						exclusiveViolated.Store(true)
+					}
+				}
+				// Earlier experiments sleep longer, so without the ordering
+				// barrier later ones would emit first.
+				time.Sleep(time.Duration(len(exps)-i) * time.Millisecond)
+				if wallClock && atomic.LoadInt32(&running) > 1 {
+					exclusiveViolated.Store(true)
+				}
+				atomic.AddInt32(&running, -1)
+				tb := &Table{ID: fmt.Sprintf("exp%02d", i)}
+				tb.AddRow("seed", fmt.Sprintf("%d", o.Seed))
+				return tb
+			},
+		}
+	}
+	var got []string
+	RunStream(exps, Options{Seed: 42}, 8, func(r RunResult) {
+		if r.Table.Rows[0].Cells[0] != "42" {
+			t.Fatalf("experiment %s ran with wrong options", r.Experiment.ID)
+		}
+		got = append(got, r.Table.ID)
+	})
+	if len(got) != len(exps) {
+		t.Fatalf("emitted %d results, want %d", len(got), len(exps))
+	}
+	for i, id := range got {
+		if want := fmt.Sprintf("exp%02d", i); id != want {
+			t.Fatalf("emission order broken at %d: got %s, want %s", i, id, want)
+		}
+	}
+	if !sawParallel.Load() {
+		t.Fatal("RunStream(workers=8) never ran two experiments concurrently")
+	}
+	if exclusiveViolated.Load() {
+		t.Fatal("a WallClock experiment shared the pool with another experiment")
+	}
+}
+
+func TestParallelForCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		n := 57
+		hits := make([]int32, n)
+		Options{Parallel: workers}.parallelFor(n, func(i int) {
+			atomic.AddInt32(&hits[i], 1)
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+// renderAll runs every experiment at the given parallelism and returns
+// the table and JSON renderings, in emission order. WallClock
+// experiments (fig17a) have their measured cell values scrubbed first:
+// host timings are not seed-derived, so the determinism contract covers
+// their structure (id, title, columns, series names, notes) only.
+func renderAll(t *testing.T, exps []Experiment, parallel int) (tables, jsons []string) {
+	t.Helper()
+	opts := Options{Quick: true, Seed: 1, Parallel: parallel}
+	RunStream(exps, opts, parallel, func(r RunResult) {
+		if r.Experiment.WallClock {
+			for _, row := range r.Table.Rows {
+				for i := range row.Cells {
+					row.Cells[i] = "x"
+				}
+			}
+		}
+		tables = append(tables, r.Table.String())
+		j, err := json.Marshal(r.Table)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jsons = append(jsons, string(j))
+	})
+	return tables, jsons
+}
+
+// TestParallelAllDeterministic is the runner's contract: running the
+// experiment suite with -parallel 8 must produce byte-identical output
+// (both the table and -json renderings, in the same order) as -parallel
+// 1. The default run covers the sweep-fanning and large-scale
+// experiments plus the exclusively-scheduled fig17a; -short drops the
+// slow fig12b sweep (so the race pass stays fast); set
+// INFLESS_DETERMINISM=all to hold every experiment in the suite to the
+// contract (minutes of runtime — the CLI-level equivalent is diffing
+// `infless-bench -run all -parallel 1` against `-parallel 8` stdout).
+func TestParallelAllDeterministic(t *testing.T) {
+	ids := []string{"fig16", "fig17a", "fig17b", "fig18a", "fig18b"}
+	if !testing.Short() {
+		ids = append(ids, "fig12b")
+	}
+	exps := make([]Experiment, 0, len(ids))
+	for _, id := range ids {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("unknown experiment %s", id)
+		}
+		exps = append(exps, e)
+	}
+	if os.Getenv("INFLESS_DETERMINISM") == "all" {
+		exps = All()
+	}
+	serialTables, serialJSON := renderAll(t, exps, 1)
+	parTables, parJSON := renderAll(t, exps, 8)
+	if len(parTables) != len(serialTables) {
+		t.Fatalf("parallel emitted %d tables, serial %d", len(parTables), len(serialTables))
+	}
+	for i := range serialTables {
+		if parTables[i] != serialTables[i] {
+			t.Errorf("%s: table rendering differs between -parallel 1 and -parallel 8:\nserial:\n%s\nparallel:\n%s",
+				exps[i].ID, serialTables[i], parTables[i])
+		}
+		if parJSON[i] != serialJSON[i] {
+			t.Errorf("%s: JSON rendering differs between -parallel 1 and -parallel 8", exps[i].ID)
+		}
+	}
+}

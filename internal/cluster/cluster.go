@@ -3,6 +3,12 @@
 // scheduler. It corresponds to the "cluster resource status" input of the
 // auto-scaling engine (Figure 4) plus the fragmentation accounting used
 // by the evaluation (Figure 17b).
+//
+// All aggregate views — resource totals, active-server counts, the
+// fragmentation ratio and the free-capacity index behind BestFit — are
+// maintained incrementally by Allocate/Release/SetDown, so telemetry
+// sampling and placement queries cost O(1)/O(log n) instead of a scan
+// over every server.
 package cluster
 
 import (
@@ -36,6 +42,15 @@ func (s *Server) Active() bool { return s.allocs > 0 }
 // Cluster is a collection of servers with allocation bookkeeping.
 type Cluster struct {
 	servers []*Server
+	index   freeIndex
+
+	// Incremental aggregates; all integer-backed (perf.Resources and
+	// counts), so they match a fresh rescan bit for bit.
+	totalCap   perf.Resources
+	totalFree  perf.Resources
+	active     int
+	activeCap  perf.Resources // capacity summed over active servers
+	activeFree perf.Resources // free summed over active servers
 }
 
 // Options configures cluster construction.
@@ -67,6 +82,7 @@ func New(opts Options) *Cluster {
 			MemFreeMB: opts.MemMB,
 		}
 	}
+	c.init()
 	return c
 }
 
@@ -108,7 +124,17 @@ func NewHeterogeneous(pools []NodePool) *Cluster {
 	if len(c.servers) == 0 {
 		panic("cluster: heterogeneous cluster with no servers")
 	}
+	c.init()
 	return c
+}
+
+// init seeds the aggregates and the free-capacity index.
+func (c *Cluster) init() {
+	for _, s := range c.servers {
+		c.totalCap = c.totalCap.Add(s.Capacity)
+		c.totalFree = c.totalFree.Add(s.Free)
+	}
+	c.index.build(c.servers)
 }
 
 // Testbed returns the paper's 8-server, 16-GPU local cluster.
@@ -133,9 +159,19 @@ func (c *Cluster) Server(id int) *Server {
 // not mutate inventory except through Allocate/Release).
 func (c *Cluster) Servers() []*Server { return c.servers }
 
-// SetDown marks a server failed (true) or recovered (false).
+// SetDown marks a server failed (true) or recovered (false). Down
+// servers leave the free-capacity index: they can never host placements.
 func (c *Cluster) SetDown(id int, down bool) {
-	c.Server(id).down = down
+	s := c.Server(id)
+	if s.down == down {
+		return
+	}
+	s.down = down
+	if down {
+		c.index.remove(int32(id))
+	} else {
+		c.index.insert(int32(id), s.Free.Weighted())
+	}
 }
 
 // Allocate reserves res (+memMB) on server id.
@@ -150,9 +186,19 @@ func (c *Cluster) Allocate(id int, res perf.Resources, memMB int) error {
 	if memMB > s.MemFreeMB {
 		return fmt.Errorf("cluster: server %d cannot fit %d MB (free %d MB)", id, memMB, s.MemFreeMB)
 	}
+	wasActive := s.allocs > 0
 	s.Free = s.Free.Sub(res)
 	s.MemFreeMB -= memMB
 	s.allocs++
+	c.totalFree = c.totalFree.Sub(res)
+	if wasActive {
+		c.activeFree = c.activeFree.Sub(res)
+	} else {
+		c.active++
+		c.activeCap = c.activeCap.Add(s.Capacity)
+		c.activeFree = c.activeFree.Add(s.Free)
+	}
+	c.index.reposition(int32(id), s.Free.Weighted())
 	return nil
 }
 
@@ -166,51 +212,66 @@ func (c *Cluster) Release(id int, res perf.Resources, memMB int) {
 	if !s.Capacity.Fits(s.Free) || s.MemFreeMB > s.MemCapMB || s.allocs < 0 {
 		panic(fmt.Sprintf("cluster: release underflow on server %d", id))
 	}
+	c.totalFree = c.totalFree.Add(res)
+	if s.allocs > 0 {
+		c.activeFree = c.activeFree.Add(res)
+	} else {
+		// The server leaves the active set: drop its pre-release
+		// contribution (post-release free minus the returned res).
+		c.active--
+		c.activeCap = c.activeCap.Sub(s.Capacity)
+		c.activeFree = c.activeFree.Sub(s.Free.Sub(res))
+	}
+	c.index.reposition(int32(id), s.Free.Weighted())
+}
+
+// BestFit returns the fitting up server with the least free weighted
+// capacity (ties: lowest id) — the "fullest server that can still host
+// this candidate" query that maximizes Eq. 10's packing term. It answers
+// from the free-capacity index: a binary search for the first server
+// whose free weight could possibly fit, then a short ascending walk
+// until the CPU/GPU/memory dimensions all fit.
+func (c *Cluster) BestFit(res perf.Resources, memMB int) (id int, freeW float64, ok bool) {
+	id = -1
+	c.index.ascend(res.Weighted(), func(sid int32) bool {
+		s := c.servers[sid]
+		if s.Free.Fits(res) && s.MemFreeMB >= memMB {
+			id, freeW, ok = int(sid), c.index.keys[sid], true
+			return false
+		}
+		return true
+	})
+	return id, freeW, ok
+}
+
+// FirstFit returns the lowest-id fitting up server — the first-fit
+// placement of the Figure 11 RS ablation and of uniform baselines.
+func (c *Cluster) FirstFit(res perf.Resources, memMB int) (id int, freeW float64, ok bool) {
+	for _, s := range c.servers {
+		if s.down || !s.Free.Fits(res) || s.MemFreeMB < memMB {
+			continue
+		}
+		return s.ID, s.Free.Weighted(), true
+	}
+	return -1, 0, false
 }
 
 // TotalCapacity sums resource capacity across all servers.
-func (c *Cluster) TotalCapacity() perf.Resources {
-	var t perf.Resources
-	for _, s := range c.servers {
-		t = t.Add(s.Capacity)
-	}
-	return t
-}
+func (c *Cluster) TotalCapacity() perf.Resources { return c.totalCap }
 
 // TotalAllocated sums allocated resources across all servers.
-func (c *Cluster) TotalAllocated() perf.Resources {
-	var t perf.Resources
-	for _, s := range c.servers {
-		t = t.Add(s.Allocated())
-	}
-	return t
-}
+func (c *Cluster) TotalAllocated() perf.Resources { return c.totalCap.Sub(c.totalFree) }
 
 // ActiveServers returns the number of servers hosting allocations.
-func (c *Cluster) ActiveServers() int {
-	n := 0
-	for _, s := range c.servers {
-		if s.Active() {
-			n++
-		}
-	}
-	return n
-}
+func (c *Cluster) ActiveServers() int { return c.active }
 
 // FragmentationRatio is the paper's resource-fragment metric: the
 // beta-weighted share of *active* servers' capacity that is left
 // unallocated. An idle cluster has zero fragmentation.
 func (c *Cluster) FragmentationRatio() float64 {
-	var free, cap float64
-	for _, s := range c.servers {
-		if !s.Active() {
-			continue
-		}
-		free += s.Free.Weighted()
-		cap += s.Capacity.Weighted()
-	}
+	cap := c.activeCap.Weighted()
 	if cap == 0 {
 		return 0
 	}
-	return free / cap
+	return c.activeFree.Weighted() / cap
 }

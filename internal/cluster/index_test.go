@@ -1,0 +1,224 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/tanklab/infless/internal/perf"
+)
+
+// naiveBestFit is the reference linear scan the index replaced: least
+// free weighted capacity among fitting up servers, lowest id on ties.
+func naiveBestFit(c *Cluster, res perf.Resources, memMB int) (int, float64, bool) {
+	id, freeW := -1, math.Inf(1)
+	for _, s := range c.servers {
+		if s.down || !s.Free.Fits(res) || s.MemFreeMB < memMB {
+			continue
+		}
+		if w := s.Free.Weighted(); w < freeW {
+			id, freeW = s.ID, w
+		}
+	}
+	if id < 0 {
+		return -1, 0, false
+	}
+	return id, freeW, true
+}
+
+func naiveFirstFit(c *Cluster, res perf.Resources, memMB int) (int, float64, bool) {
+	for _, s := range c.servers {
+		if s.down || !s.Free.Fits(res) || s.MemFreeMB < memMB {
+			continue
+		}
+		return s.ID, s.Free.Weighted(), true
+	}
+	return -1, 0, false
+}
+
+// checkIndexInvariants verifies the index against ground truth: sorted
+// by (key, id), positions consistent, keys equal to live free weights,
+// down servers absent, and the incremental aggregates equal to a rescan.
+func checkIndexInvariants(t *testing.T, c *Cluster) {
+	t.Helper()
+	ix := &c.index
+	seen := 0
+	for slot, id := range ix.ids {
+		s := c.servers[id]
+		if s.down {
+			t.Fatalf("down server %d present in index", id)
+		}
+		if ix.pos[id] != int32(slot) {
+			t.Fatalf("server %d: pos %d != slot %d", id, ix.pos[id], slot)
+		}
+		if ix.keys[id] != s.Free.Weighted() {
+			t.Fatalf("server %d: stale key %v != %v", id, ix.keys[id], s.Free.Weighted())
+		}
+		if slot > 0 {
+			p := ix.ids[slot-1]
+			if ix.keys[p] > ix.keys[id] || (ix.keys[p] == ix.keys[id] && p > id) {
+				t.Fatalf("index out of order at slot %d: (%v,%d) before (%v,%d)",
+					slot, ix.keys[p], p, ix.keys[id], id)
+			}
+		}
+		seen++
+	}
+	up := 0
+	var cap, free, activeCap, activeFree perf.Resources
+	active := 0
+	for _, s := range c.servers {
+		if !s.down {
+			up++
+			if ix.pos[s.ID] < 0 {
+				t.Fatalf("up server %d missing from index", s.ID)
+			}
+		}
+		cap = cap.Add(s.Capacity)
+		free = free.Add(s.Free)
+		if s.Active() {
+			active++
+			activeCap = activeCap.Add(s.Capacity)
+			activeFree = activeFree.Add(s.Free)
+		}
+	}
+	if seen != up {
+		t.Fatalf("index has %d entries, want %d up servers", seen, up)
+	}
+	if c.TotalCapacity() != cap {
+		t.Fatalf("TotalCapacity %v != rescan %v", c.TotalCapacity(), cap)
+	}
+	if got, want := c.TotalAllocated(), cap.Sub(free); got != want {
+		t.Fatalf("TotalAllocated %v != rescan %v", got, want)
+	}
+	if c.ActiveServers() != active {
+		t.Fatalf("ActiveServers %d != rescan %d", c.ActiveServers(), active)
+	}
+	wantFrag := 0.0
+	if w := activeCap.Weighted(); w != 0 {
+		wantFrag = activeFree.Weighted() / w
+	}
+	if got := c.FragmentationRatio(); math.Abs(got-wantFrag) > 1e-9 {
+		t.Fatalf("FragmentationRatio %v != rescan %v", got, wantFrag)
+	}
+}
+
+// TestQuickBestFitMatchesScan drives random mutation sequences over
+// randomized (possibly heterogeneous) clusters and checks after every
+// step that BestFit/FirstFit answer exactly like the naive linear scan —
+// including down servers and memory-constrained fits — and that the
+// incremental aggregates match a full rescan.
+func TestQuickBestFitMatchesScan(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var c *Cluster
+		if rng.Intn(2) == 0 {
+			c = New(Options{Servers: 1 + rng.Intn(12)})
+		} else {
+			c = NewHeterogeneous([]NodePool{
+				{Servers: 1 + rng.Intn(4), PerServer: perf.Resources{CPU: 32}, MemMB: 64 * 1024},
+				{Servers: 1 + rng.Intn(4), PerServer: perf.Resources{CPU: 8, GPU: 40}},
+				{Servers: 1 + rng.Intn(4)},
+			})
+		}
+		type alloc struct {
+			id  int
+			res perf.Resources
+			mem int
+		}
+		var live []alloc
+		randRes := func() perf.Resources {
+			r := perf.Resources{CPU: rng.Intn(10), GPU: rng.Intn(12)}
+			if r.IsZero() {
+				r.CPU = 1
+			}
+			return r
+		}
+		for step := 0; step < 120; step++ {
+			switch op := rng.Intn(10); {
+			case op < 4: // allocate somewhere it fits
+				a := alloc{id: rng.Intn(c.Size()), res: randRes(), mem: rng.Intn(40 * 1024)}
+				if err := c.Allocate(a.id, a.res, a.mem); err == nil {
+					live = append(live, a)
+				}
+			case op < 7 && len(live) > 0: // release a live allocation
+				i := rng.Intn(len(live))
+				a := live[i]
+				c.Release(a.id, a.res, a.mem)
+				live = append(live[:i], live[i+1:]...)
+			case op < 9: // flip a server's availability
+				c.SetDown(rng.Intn(c.Size()), rng.Intn(2) == 0)
+			}
+			// Probe with several query shapes, including unsatisfiable ones.
+			for q := 0; q < 4; q++ {
+				res, mem := randRes(), rng.Intn(160*1024)
+				gi, gw, gok := c.BestFit(res, mem)
+				wi, ww, wok := naiveBestFit(c, res, mem)
+				if gi != wi || gok != wok || (gok && gw != ww) {
+					t.Logf("seed %d step %d: BestFit(%v,%d) = (%d,%v,%v), scan (%d,%v,%v)",
+						seed, step, res, mem, gi, gw, gok, wi, ww, wok)
+					return false
+				}
+				gi, gw, gok = c.FirstFit(res, mem)
+				wi, ww, wok = naiveFirstFit(c, res, mem)
+				if gi != wi || gok != wok || (gok && gw != ww) {
+					t.Logf("seed %d step %d: FirstFit mismatch", seed, step)
+					return false
+				}
+			}
+		}
+		checkIndexInvariants(t, c)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetDownIdempotentAndIndexMembership(t *testing.T) {
+	c := New(Options{Servers: 3})
+	c.SetDown(1, true)
+	c.SetDown(1, true) // repeated marks must not corrupt the index
+	checkIndexInvariants(t, c)
+	if id, _, ok := c.BestFit(perf.ServerCapacity(), 0); !ok || id == 1 {
+		t.Fatalf("BestFit = (%d,%v), want a non-down server", id, ok)
+	}
+	c.SetDown(1, false)
+	c.SetDown(1, false)
+	checkIndexInvariants(t, c)
+	// A recovered server is placeable again.
+	c.SetDown(0, true)
+	c.SetDown(2, true)
+	if id, _, ok := c.BestFit(perf.Resources{CPU: 1}, 0); !ok || id != 1 {
+		t.Fatalf("BestFit after recovery = (%d,%v), want server 1", id, ok)
+	}
+}
+
+func TestBestFitPrefersFullestServer(t *testing.T) {
+	c := New(Options{Servers: 3})
+	// Server 1 is half full, server 2 nearly full: best fit for a small
+	// candidate is the fullest server that still fits.
+	if err := c.Allocate(1, perf.Resources{CPU: 8, GPU: 10}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Allocate(2, perf.Resources{CPU: 14, GPU: 18}, 0); err != nil {
+		t.Fatal(err)
+	}
+	id, _, ok := c.BestFit(perf.Resources{CPU: 2, GPU: 2}, 0)
+	if !ok || id != 2 {
+		t.Fatalf("BestFit = (%d,%v), want server 2", id, ok)
+	}
+	// A candidate too big for server 2 falls back to server 1.
+	id, _, ok = c.BestFit(perf.Resources{CPU: 4, GPU: 2}, 0)
+	if !ok || id != 1 {
+		t.Fatalf("BestFit = (%d,%v), want server 1", id, ok)
+	}
+	// Memory pressure alone must also disqualify.
+	if err := c.Allocate(2, perf.Resources{CPU: 1}, perf.ServerMemoryMB-1024); err != nil {
+		t.Fatal(err)
+	}
+	id, _, ok = c.BestFit(perf.Resources{CPU: 1}, 2048)
+	if !ok || id != 1 {
+		t.Fatalf("BestFit under memory pressure = (%d,%v), want server 1", id, ok)
+	}
+}

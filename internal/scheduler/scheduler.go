@@ -15,6 +15,7 @@ package scheduler
 import (
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"github.com/tanklab/infless/internal/batching"
@@ -88,6 +89,10 @@ func (o *Options) defaults() {
 // a plan runs the predictor over the whole configuration grid once; the
 // per-scale-out Schedule calls then reuse it, which is what keeps the
 // scheduling overhead at sub-millisecond per instance (Figure 17a).
+//
+// A Plan is not safe for concurrent use: Schedule reuses per-plan
+// scratch buffers to keep the placement loop allocation-free. Build one
+// plan per goroutine (plans are cheap once the predictor is cached).
 type Plan struct {
 	Fn   Function
 	opts Options
@@ -96,6 +101,18 @@ type Plan struct {
 	// throughput).
 	cands map[int][]Candidate
 	order []int // batch sizes, descending
+
+	// Scratch buffers reused across scheduleOne calls (placement runs in
+	// the autoscaler's per-tick hot loop).
+	fits  []fit
+	avail []Candidate
+}
+
+// fit is scheduleOne's per-candidate best-host record.
+type fit struct {
+	c     Candidate
+	srv   int
+	freeW float64
 }
 
 // BuildPlan evaluates the configuration grid for fn and keeps every
@@ -143,8 +160,11 @@ func BuildPlan(fn Function, pred Predictor, opts Options) *Plan {
 // Feasible reports whether any configuration at all can meet the SLO.
 func (p *Plan) Feasible() bool { return len(p.order) > 0 }
 
-// Candidates returns the feasible candidates for batch size b.
-func (p *Plan) Candidates(b int) []Candidate { return p.cands[b] }
+// Candidates returns the feasible candidates for batch size b, as a
+// copy: the cached plan must survive caller mutation.
+func (p *Plan) Candidates(b int) []Candidate {
+	return append([]Candidate(nil), p.cands[b]...)
+}
 
 // BatchSizes returns the feasible batch sizes, descending.
 func (p *Plan) BatchSizes() []int { return append([]int(nil), p.order...) }
@@ -174,8 +194,16 @@ func (p *Plan) Schedule(rps float64, cl *cluster.Cluster) (placed []Decision, re
 
 // scheduleOne performs one iteration of Algorithm 1's outer loop: find
 // the best (candidate, server) pair for the current residual RPS.
+//
+// Placement queries go through the cluster's free-capacity index
+// (cluster.BestFit / cluster.FirstFit): an O(log n) lower-bound search
+// per candidate instead of a scan over every server, which is what keeps
+// one autoscaling tick sub-millisecond on the 2,000-server cluster
+// (Figure 17a). The index answers exactly the query the old linear scan
+// did — least free weighted capacity among fitting servers, lowest id on
+// ties — so decisions are bit-identical (see TestIndexedMatchesLinearScan).
 func (p *Plan) scheduleOne(rps float64, cl *cluster.Cluster) (Decision, bool) {
-	servers := cl.Servers()
+	memMB := p.Fn.Model.MemoryMB
 	for _, b := range p.order {
 		ib := p.available(b, rps)
 		if len(ib) == 0 {
@@ -192,29 +220,18 @@ func (p *Plan) scheduleOne(rps float64, cl *cluster.Cluster) (Decision, bool) {
 		// Pass 1: for every candidate that still fits somewhere, find its
 		// best host — the fullest fitting server (which maximizes e_ij for
 		// that candidate) or the first fitting one for the RS ablation.
-		type fit struct {
-			c     Candidate
-			srv   int
-			freeW float64
-		}
-		var fits []fit
+		fits := p.fits[:0]
 		maxPerRes := 0.0
 		for _, c := range ib {
-			srv := -1
-			freeW := math.Inf(1)
-			for _, s := range servers {
-				if s.Down() || !s.Free.Fits(c.Res) || s.MemFreeMB < p.Fn.Model.MemoryMB {
-					continue
-				}
-				if p.opts.DisableRS {
-					srv, freeW = s.ID, s.Free.Weighted()
-					break // first-fit for the ablation
-				}
-				if w := s.Free.Weighted(); w < freeW {
-					srv, freeW = s.ID, w
-				}
+			var srv int
+			var freeW float64
+			var ok bool
+			if p.opts.DisableRS {
+				srv, freeW, ok = cl.FirstFit(c.Res, memMB)
+			} else {
+				srv, freeW, ok = cl.BestFit(c.Res, memMB)
 			}
-			if srv < 0 {
+			if !ok {
 				continue
 			}
 			fits = append(fits, fit{c: c, srv: srv, freeW: freeW})
@@ -222,6 +239,7 @@ func (p *Plan) scheduleOne(rps float64, cl *cluster.Cluster) (Decision, bool) {
 				maxPerRes = v
 			}
 		}
+		p.fits = fits // keep any capacity growth for the next call
 		if len(fits) == 0 {
 			// No server can host any I_b member; smaller batches need
 			// fewer resources, so keep trying down the batch order.
@@ -272,26 +290,31 @@ func efficiency(num, w, freeW float64, disableRS bool, rup float64) float64 {
 
 // available is Algorithm 1's AvailableConfig: candidates at batch size b
 // whose lower rate bound is satisfied by the residual RPS. Batch size 1
-// has no saturation requirement.
+// has no saturation requirement. The returned slice aliases the plan's
+// scratch buffer and is valid until the next available call.
 func (p *Plan) available(b int, rps float64) []Candidate {
 	all := p.cands[b]
 	if b == 1 {
 		return all
 	}
-	out := make([]Candidate, 0, len(all))
+	out := p.avail[:0]
 	for _, c := range all {
 		if rps >= c.Bounds.RLow {
 			out = append(out, c)
 		}
 	}
+	p.avail = out
 	return out
 }
 
 // PredictorCache memoizes Predict calls per (model, b, resources); plan
 // construction sweeps the grid once per function, and repeated rebuilds
-// (e.g. in simulations that re-plan on SLO changes) become free.
+// (e.g. in simulations that re-plan on SLO changes) become free. It is
+// safe for concurrent use, so one cache can back plan construction
+// across a parallel experiment runner's workers.
 type PredictorCache struct {
 	Inner Predictor
+	mu    sync.RWMutex
 	cache map[predKey]time.Duration
 }
 
@@ -310,10 +333,15 @@ func NewPredictorCache(pred Predictor) *PredictorCache {
 // Predict implements Predictor.
 func (pc *PredictorCache) Predict(m *model.Model, b int, res perf.Resources) time.Duration {
 	k := predKey{m.Name, b, res.CPU, res.GPU}
-	if t, ok := pc.cache[k]; ok {
+	pc.mu.RLock()
+	t, ok := pc.cache[k]
+	pc.mu.RUnlock()
+	if ok {
 		return t
 	}
-	t := pc.Inner.Predict(m, b, res)
+	t = pc.Inner.Predict(m, b, res)
+	pc.mu.Lock()
 	pc.cache[k] = t
+	pc.mu.Unlock()
 	return t
 }

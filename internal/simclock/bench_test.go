@@ -1,0 +1,55 @@
+package simclock
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// BenchmarkScheduleFire is the steady-state inner loop: one event
+// scheduled and fired per iteration against a warm queue. With the event
+// pool this runs allocation-free apart from the callback closure.
+func BenchmarkScheduleFire(b *testing.B) {
+	c := New()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.ScheduleAt(c.Now()+time.Microsecond, fn)
+		c.Step()
+	}
+}
+
+// BenchmarkScheduleFireDeep fires through a standing population of 10k
+// pending events — the heap depth of a large-scale simulation tick.
+func BenchmarkScheduleFireDeep(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	c := New()
+	fn := func() {}
+	for i := 0; i < 10000; i++ {
+		c.ScheduleAt(time.Duration(rng.Intn(1_000_000))*time.Microsecond, fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.ScheduleAt(c.Now()+time.Duration(rng.Intn(1000))*time.Microsecond, fn)
+		c.Step()
+	}
+}
+
+// BenchmarkCancelRearm is the batch-timeout pattern that dominates the
+// simulator: arm a timeout, cancel it, arm a later one, fire. Without
+// lazy tombstone draining the cancelled events pile up in the heap; with
+// pooling each cancel/rearm pair reuses the same Event object.
+func BenchmarkCancelRearm(b *testing.B) {
+	c := New()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := c.ScheduleAt(c.Now()+time.Millisecond, fn)
+		e.Cancel()
+		c.ScheduleAt(c.Now()+2*time.Millisecond, fn)
+		c.Step()
+	}
+}

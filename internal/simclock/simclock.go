@@ -4,6 +4,15 @@
 // Events are executed in non-decreasing timestamp order; events scheduled
 // for the same instant run in the order they were scheduled (FIFO), which
 // keeps simulations fully deterministic for a given seed and scenario.
+//
+// Event objects are pooled: once an event has fired (or has been cancelled
+// and drained), the clock recycles it for a later ScheduleAt call, so the
+// steady-state simulation loop schedules without allocating. The returned
+// *Event is therefore only valid until its callback runs — callers that
+// store events for later Cancel must drop the reference when the callback
+// fires (the engine's callbacks nil their stored refs for exactly this
+// reason). Cancelling an already-fired reference is a no-op only until the
+// object is reused; after that it would cancel an unrelated event.
 package simclock
 
 import (
@@ -22,15 +31,23 @@ type Event struct {
 	fn       func()
 	index    int // heap index, -1 once removed
 	canceled bool
+	clk      *Clock
 }
 
 // At returns the virtual time the event is scheduled for.
 func (e *Event) At() Time { return e.at }
 
 // Cancel prevents the event from firing. Cancelling an event that already
-// fired or was already cancelled is a no-op.
+// fired or was already cancelled is a no-op. A cancelled event stays in
+// the queue as a tombstone until it is drained in timestamp order or the
+// clock compacts the queue (see maybeCompact).
 func (e *Event) Cancel() {
+	if e.canceled || e.index < 0 {
+		return
+	}
 	e.canceled = true
+	e.clk.tombstones++
+	e.clk.maybeCompact()
 }
 
 // Canceled reports whether Cancel was called on the event.
@@ -68,10 +85,12 @@ func (h *eventHeap) Pop() any {
 // Clock owns virtual time and the pending event queue.
 // The zero value is ready to use at time 0.
 type Clock struct {
-	now     Time
-	seq     uint64
-	pending eventHeap
-	fired   uint64
+	now        Time
+	seq        uint64
+	pending    eventHeap
+	fired      uint64
+	free       []*Event // recycled Event objects, see package doc
+	tombstones int      // cancelled events still sitting in pending
 }
 
 // New returns a clock positioned at virtual time 0 with no pending events.
@@ -81,11 +100,34 @@ func New() *Clock { return &Clock{} }
 func (c *Clock) Now() Time { return c.now }
 
 // Pending returns the number of events waiting to fire (including
-// cancelled events that have not been drained yet).
+// cancelled events that have not been drained or compacted away yet).
 func (c *Clock) Pending() int { return len(c.pending) }
 
 // Fired returns the total number of events executed so far.
 func (c *Clock) Fired() uint64 { return c.fired }
+
+// alloc takes an Event from the free list, or makes one.
+func (c *Clock) alloc(at Time, fn func()) *Event {
+	var e *Event
+	if n := len(c.free); n > 0 {
+		e = c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+	} else {
+		e = &Event{clk: c}
+	}
+	e.at, e.fn, e.canceled = at, fn, false
+	e.seq = c.seq
+	c.seq++
+	return e
+}
+
+// recycle returns a popped event to the free list. The closure is dropped
+// immediately so captured state does not outlive the event.
+func (c *Clock) recycle(e *Event) {
+	e.fn = nil
+	c.free = append(c.free, e)
+}
 
 // ScheduleAt registers fn to run at virtual time at. Scheduling in the past
 // panics: it indicates a logic error in the simulation, never valid input.
@@ -93,8 +135,7 @@ func (c *Clock) ScheduleAt(at Time, fn func()) *Event {
 	if at < c.now {
 		panic(fmt.Sprintf("simclock: schedule at %v before now %v", at, c.now))
 	}
-	e := &Event{at: at, seq: c.seq, fn: fn}
-	c.seq++
+	e := c.alloc(at, fn)
 	heap.Push(&c.pending, e)
 	return e
 }
@@ -108,31 +149,74 @@ func (c *Clock) ScheduleAfter(d time.Duration, fn func()) *Event {
 	return c.ScheduleAt(c.now+d, fn)
 }
 
-// Step executes the next pending event, advancing virtual time to its
-// timestamp. It returns false when the queue is empty. Cancelled events are
-// skipped (but still advance the clock to their timestamp, which is
-// harmless and keeps Step O(log n)).
-func (c *Clock) Step() bool {
+// peek drains cancelled events off the top of the queue and returns the
+// next live event, or nil when none remain.
+func (c *Clock) peek() *Event {
 	for len(c.pending) > 0 {
-		e := heap.Pop(&c.pending).(*Event)
-		if e.canceled {
-			continue
+		e := c.pending[0]
+		if !e.canceled {
+			return e
 		}
-		c.now = e.at
-		c.fired++
-		e.fn()
-		return true
+		heap.Pop(&c.pending)
+		c.tombstones--
+		c.recycle(e)
 	}
-	return false
+	return nil
+}
+
+// maybeCompact rebuilds the queue without tombstones once more than half
+// of it is cancelled events. Draining tombstones lazily keeps Cancel O(1),
+// but a cancel-heavy workload (e.g. batch timeouts that almost always get
+// re-armed) would otherwise grow the heap without bound; compaction bounds
+// it at 2x the live events, amortizing the rebuild over the cancels that
+// forced it.
+func (c *Clock) maybeCompact() {
+	if c.tombstones*2 <= len(c.pending) {
+		return
+	}
+	live := c.pending[:0]
+	for _, e := range c.pending {
+		if e.canceled {
+			e.index = -1
+			c.recycle(e)
+		} else {
+			live = append(live, e)
+		}
+	}
+	for i := len(live); i < len(c.pending); i++ {
+		c.pending[i] = nil
+	}
+	for i, e := range live {
+		e.index = i
+	}
+	c.pending = live
+	heap.Init(&c.pending)
+	c.tombstones = 0
+}
+
+// Step executes the next pending event, advancing virtual time to its
+// timestamp. It returns false when the queue is empty (cancelled events
+// do not count). The fired event is recycled after its callback returns.
+func (c *Clock) Step() bool {
+	e := c.peek()
+	if e == nil {
+		return false
+	}
+	heap.Pop(&c.pending)
+	c.now = e.at
+	c.fired++
+	e.fn()
+	c.recycle(e)
+	return true
 }
 
 // RunUntil executes events with timestamp <= deadline, then advances the
 // clock to the deadline. Events scheduled during execution are honored if
 // they fall within the deadline.
 func (c *Clock) RunUntil(deadline Time) {
-	for len(c.pending) > 0 {
-		e := c.pending[0]
-		if e.at > deadline {
+	for {
+		e := c.peek()
+		if e == nil || e.at > deadline {
 			break
 		}
 		c.Step()
@@ -155,10 +239,16 @@ func (c *Clock) Run(limit uint64) uint64 {
 	return n
 }
 
-// Reset drops all pending events and rewinds the clock to zero.
+// Reset drops all pending events (recycling them) and rewinds the clock
+// to zero. Event references held across a Reset are invalid.
 func (c *Clock) Reset() {
+	for _, e := range c.pending {
+		e.index = -1
+		c.recycle(e)
+	}
+	c.pending = c.pending[:0]
 	c.now = 0
-	c.pending = nil
 	c.seq = 0
 	c.fired = 0
+	c.tombstones = 0
 }

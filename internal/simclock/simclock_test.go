@@ -217,3 +217,128 @@ func BenchmarkScheduleAndRun(b *testing.B) {
 		c.Step()
 	}
 }
+
+// TestTombstoneCompaction is the regression test for the lazy tombstone
+// drain: cancelling more than half the queue must compact it in place
+// (without waiting for the clock to reach the tombstones' timestamps),
+// and the surviving events must still fire in exactly their original
+// timestamp/FIFO order.
+func TestTombstoneCompaction(t *testing.T) {
+	c := New()
+	n := 1000
+	events := make([]*Event, n)
+	var got []int
+	for i := 0; i < n; i++ {
+		i := i
+		events[i] = c.ScheduleAt(time.Duration(i)*time.Millisecond, func() { got = append(got, i) })
+	}
+	// Cancel every event but the multiples of 10, far more than half.
+	for i := 0; i < n; i++ {
+		if i%10 != 0 {
+			events[i].Cancel()
+		}
+	}
+	live := n / 10
+	if p := c.Pending(); p > 2*live {
+		t.Fatalf("pending = %d after mass cancel, want <= %d (compaction did not run)", p, 2*live)
+	}
+	c.Run(0)
+	if len(got) != live {
+		t.Fatalf("fired %d events, want %d", len(got), live)
+	}
+	for i, v := range got {
+		if v != i*10 {
+			t.Fatalf("fire order got[%d] = %d, want %d", i, v, i*10)
+		}
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("pending = %d after run, want 0", c.Pending())
+	}
+}
+
+// TestCompactionPreservesFIFO cancels a majority at one instant and
+// checks that same-instant survivors keep their scheduling order through
+// the heap rebuild.
+func TestCompactionPreservesFIFO(t *testing.T) {
+	c := New()
+	var events []*Event
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		events = append(events, c.ScheduleAt(time.Second, func() { got = append(got, i) }))
+	}
+	for i, e := range events {
+		if i%3 != 0 {
+			e.Cancel()
+		}
+	}
+	c.Run(0)
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("same-instant order broken after compaction: %v", got)
+		}
+	}
+	if len(got) != 34 {
+		t.Fatalf("fired %d, want 34", len(got))
+	}
+}
+
+// TestEventPoolReuse pins the pooling behavior: the steady-state
+// schedule/fire loop must recycle Event objects instead of allocating.
+func TestEventPoolReuse(t *testing.T) {
+	c := New()
+	e1 := c.ScheduleAfter(time.Millisecond, func() {})
+	c.Run(0)
+	e2 := c.ScheduleAfter(time.Millisecond, func() {})
+	if e1 != e2 {
+		t.Fatal("fired event was not recycled for the next schedule")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		c.ScheduleAfter(time.Millisecond, func() {})
+		c.Step()
+	})
+	if allocs > 0 {
+		t.Fatalf("schedule/fire loop allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestRunUntilSkipsDeadTop: a cancelled event at the head of the queue
+// must not let RunUntil fire a live event past the deadline.
+func TestRunUntilSkipsDeadTop(t *testing.T) {
+	c := New()
+	dead := c.ScheduleAt(time.Second, func() { t.Fatal("cancelled event fired") })
+	fired := false
+	c.ScheduleAt(3*time.Second, func() { fired = true })
+	dead.Cancel()
+	c.RunUntil(2 * time.Second)
+	if fired {
+		t.Fatal("RunUntil fired an event past the deadline")
+	}
+	if c.Now() != 2*time.Second {
+		t.Fatalf("now = %v, want 2s", c.Now())
+	}
+	c.RunUntil(5 * time.Second)
+	if !fired {
+		t.Fatal("live event never fired")
+	}
+}
+
+// TestResetRecyclesPending verifies Reset returns pending events to the
+// pool and leaves the clock reusable.
+func TestResetRecyclesPending(t *testing.T) {
+	c := New()
+	for i := 0; i < 10; i++ {
+		c.ScheduleAfter(time.Second, func() {})
+	}
+	c.Reset()
+	if c.Pending() != 0 {
+		t.Fatalf("pending = %d after reset", c.Pending())
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		c.ScheduleAfter(time.Second, func() {})
+		c.Step()
+	})
+	if allocs > 0 {
+		t.Fatalf("post-reset schedule allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -16,6 +16,8 @@ echo "== go test"
 go test ./...
 echo "== go test -race (gateway + runtime + telemetry)"
 go test -race ./internal/gateway/... ./internal/runtime/... ./internal/telemetry/...
+echo "== go test -race (parallel experiment runner)"
+go test -race -short -run 'TestRunStreamOrdered|TestParallelForCoversAllIndices|TestParallelAllDeterministic' ./internal/bench/
 
 echo "== single-definition guards"
 fail=0
@@ -57,6 +59,18 @@ forbid() {
 
 forbid 'func batchTimeout\(|type rateEstimator |type instancePool ' \
 	'lifecycle policy helpers live in internal/runtime only'
+
+# Placement goes through the cluster's free-capacity index: the index has
+# one definition, and scheduleOne must never re-grow a linear scan over
+# the server list (the pre-index code iterated cl.Servers()).
+single_def 'type freeIndex struct' internal/cluster/index.go
+single_def 'func (c *Cluster) BestFit(' internal/cluster/cluster.go
+if grep -nE 'Servers\(\)' internal/scheduler/scheduler.go >/dev/null 2>&1; then
+	echo "GUARD FAIL: internal/scheduler/scheduler.go scans the server list;"
+	echo "placement must go through cluster.BestFit/FirstFit (free-capacity index)"
+	grep -nE 'Servers\(\)' internal/scheduler/scheduler.go
+	fail=1
+fi
 
 [ "$fail" = 0 ] || exit 1
 echo "OK"
