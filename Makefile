@@ -1,11 +1,16 @@
 GO ?= go
 
-.PHONY: check build vet test race bench
+.PHONY: check build vet test race bench lint
 
-## check: tier-1 gate — build, vet, full tests, race pass on the shared
-## runtime + gateway, and single-definition guards (see scripts/check.sh).
+## check: tier-1 gate — gofmt, build, vet, infless-lint, full tests, and
+## a race pass on the shared runtime + gateway (see scripts/check.sh).
 check:
 	./scripts/check.sh
+
+## lint: the static-analysis suite (wallclock, maporder, singledef,
+## serverscan, lockedcallback — see internal/analysis).
+lint:
+	$(GO) run ./cmd/infless-lint ./...
 
 build:
 	$(GO) build ./...

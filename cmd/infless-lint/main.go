@@ -1,0 +1,26 @@
+// Command infless-lint runs the repo's static-analysis suite: the
+// determinism, single-sourcing, placement-index and locking-discipline
+// invariants described in internal/analysis. It loads the whole module
+// with go/parser + go/types (standard library only) and exits non-zero
+// on any unsuppressed diagnostic.
+//
+// Usage:
+//
+//	go run ./cmd/infless-lint ./...
+//	go run ./cmd/infless-lint ./internal/sim ./internal/bench/...
+//
+// Suppress a finding with a justified directive on the same line or the
+// line above:
+//
+//	//lint:ignore wallclock wall-clock experiment measures host time
+package main
+
+import (
+	"os"
+
+	"github.com/tanklab/infless/internal/analysis"
+)
+
+func main() {
+	os.Exit(analysis.Main(os.Stdout, ".", os.Args[1:]))
+}

@@ -1,0 +1,276 @@
+// Package analysis is infless-lint: a standard-library-only static
+// analysis suite (go/parser + go/types, no external analysis framework)
+// that enforces the invariants the platform's correctness rests on —
+// the §5.3 byte-identical determinism guarantee of the simulation
+// packages and the single-sourcing of runtime policies extracted in the
+// shared internal/runtime layer.
+//
+// Five analyzers run over the whole module:
+//
+//   - wallclock:      no wall-clock time or global math/rand in the
+//     deterministic packages; time flows through simclock, randomness
+//     through seeded *rand.Rand sources.
+//   - maporder:       no map iteration that feeds ordered output
+//     (slice appends, printed/written output, float accumulation)
+//     unless the keys are sorted.
+//   - singledef:      the lifecycle policies, the latency histogram and
+//     the placement index are each defined exactly once, in their home
+//     file (the AST-level replacement for check.sh's old grep guards),
+//     driven by the declarative tables in invariants.go.
+//   - serverscan:     the scheduler never scans Cluster.Servers();
+//     placement goes through the free-capacity index (BestFit/FirstFit).
+//   - lockedcallback: runtime.Observer callbacks and telemetry
+//     Collector entry points are never invoked between a mutex Lock and
+//     its Unlock in the gateway or telemetry packages.
+//
+// A finding can be suppressed with a directive on the same line or the
+// line above:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// The reason is mandatory; an empty reason is itself a diagnostic.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, rendered as "file:line:col: [name] message".
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Package is one type-checked package of the unit under analysis.
+type Package struct {
+	Path  string // import path (or the override a test loaded it under)
+	Dir   string // directory relative to the module root
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Unit is the whole program the analyzers see. Analyzers receive the
+// full unit (not one package at a time) because single-definition
+// checks are inherently whole-program.
+type Unit struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+
+	// Invariants and Forbidden override the production tables from
+	// invariants.go; nil means production. Tests point them at testdata.
+	Invariants []SingleDef
+	Forbidden  []ForbiddenDecl
+}
+
+// Analyzer is one named check over a Unit.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(u *Unit) []Diagnostic
+}
+
+// inScope reports whether pkgPath falls under any of the given
+// module-relative package scopes. Matching is by path segment, so the
+// scope "internal/sim" covers internal/sim and internal/sim/foo but not
+// internal/simclock, and works regardless of the module prefix.
+func inScope(pkgPath string, scopes []string) bool {
+	p := "/" + pkgPath + "/"
+	for _, s := range scopes {
+		if strings.Contains(p, "/"+s+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// deterministicScopes are the packages under the byte-identical
+// determinism guarantee: the simulator runs real scheduling code against
+// simulated machines, so any wall-clock read or unordered iteration here
+// silently breaks -parallel N == -parallel 1.
+var deterministicScopes = []string{
+	"internal/sim",
+	"internal/simclock",
+	"internal/scheduler",
+	"internal/cluster",
+	"internal/batching",
+	"internal/queueing",
+	"internal/runtime",
+	"internal/workload",
+	"internal/bench",
+}
+
+// ignoreDirective is one parsed //lint:ignore comment. line is the
+// source line it suppresses: its own line for a trailing directive, the
+// next line for a directive standing on a line of its own.
+type ignoreDirective struct {
+	name   string
+	reason string
+	file   string
+	line   int
+}
+
+const directivePrefix = "lint:ignore"
+
+// directives collects every //lint:ignore in the unit, emitting a
+// diagnostic for each directive with a missing analyzer name or an
+// empty reason (suppression without a recorded justification is exactly
+// the silent rot the suite exists to prevent).
+func directives(u *Unit) ([]ignoreDirective, []Diagnostic) {
+	var dirs []ignoreDirective
+	var diags []Diagnostic
+	for _, pkg := range u.Pkgs {
+		for _, f := range pkg.Files {
+			code := codeLines(u.Fset, f)
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimSpace(text)
+					if !strings.HasPrefix(text, directivePrefix) {
+						continue
+					}
+					rest := strings.TrimSpace(strings.TrimPrefix(text, directivePrefix))
+					name, reason, _ := strings.Cut(rest, " ")
+					reason = strings.TrimSpace(reason)
+					pos := u.Fset.Position(c.Pos())
+					if name == "" || reason == "" {
+						diags = append(diags, Diagnostic{
+							Analyzer: "directive",
+							Pos:      pos,
+							Message:  "//lint:ignore needs an analyzer name and a non-empty reason: //lint:ignore <analyzer> <reason>",
+						})
+						continue
+					}
+					line := pos.Line
+					if !code[line] {
+						line++ // own-line directive covers the line below
+					}
+					dirs = append(dirs, ignoreDirective{name: name, reason: reason, file: pos.Filename, line: line})
+				}
+			}
+		}
+	}
+	return dirs, diags
+}
+
+// codeLines returns the set of lines carrying non-comment tokens, used
+// to tell a trailing directive from one standing on its own line.
+func codeLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.Comment, *ast.CommentGroup:
+			return false
+		}
+		if n.Pos().IsValid() {
+			lines[fset.Position(n.Pos()).Line] = true
+		}
+		if n.End().IsValid() {
+			lines[fset.Position(n.End()).Line] = true
+		}
+		return true
+	})
+	return lines
+}
+
+// filterIgnored drops diagnostics covered by a well-formed directive.
+func filterIgnored(diags []Diagnostic, dirs []ignoreDirective) []Diagnostic {
+	type key struct {
+		file string
+		line int
+		name string
+	}
+	idx := map[key]bool{}
+	for _, d := range dirs {
+		idx[key{d.file, d.line, d.name}] = true
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if idx[key{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+// RunAll runs the analyzers over the unit, applies //lint:ignore
+// suppressions, and returns the surviving diagnostics sorted by
+// position.
+func RunAll(u *Unit, analyzers []*Analyzer) []Diagnostic {
+	var all []Diagnostic
+	for _, a := range analyzers {
+		all = append(all, a.Run(u)...)
+	}
+	dirs, dirDiags := directives(u)
+	all = filterIgnored(all, dirs)
+	all = append(all, dirDiags...)
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return all
+}
+
+// Analyzers returns the full infless-lint suite.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		WallclockAnalyzer,
+		MapOrderAnalyzer,
+		SingleDefAnalyzer,
+		ServerScanAnalyzer,
+		LockedCallbackAnalyzer,
+	}
+}
+
+// funcOf resolves a call's callee to a *types.Func, or nil (builtins,
+// type conversions, calls through function-typed variables).
+func funcOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// recvNamed returns the named type of a method's receiver, unwrapping
+// pointers, or nil for package-level functions.
+func recvNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n
+	}
+	return nil
+}

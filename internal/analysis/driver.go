@@ -1,0 +1,113 @@
+package analysis
+
+// driver.go is the reusable body of cmd/infless-lint: load the module,
+// run the suite, print diagnostics. The whole module is always loaded
+// (single-definition checks are whole-program by nature); the package
+// patterns only filter which packages' diagnostics are reported.
+
+import (
+	"fmt"
+	"io"
+	"path"
+	"path/filepath"
+	"strings"
+)
+
+// Exit codes.
+const (
+	ExitClean = 0 // no diagnostics
+	ExitDiags = 1 // at least one unsuppressed diagnostic
+	ExitError = 2 // the module failed to load or type-check
+)
+
+// Main loads the module containing dir, runs the suite over the
+// packages matching patterns (Go-style: "./...", "./internal/sim",
+// "./internal/bench/..."), prints diagnostics to out, and returns the
+// process exit code.
+func Main(out io.Writer, dir string, patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, err := FindModuleRoot(dir)
+	if err != nil {
+		fmt.Fprintln(out, "infless-lint:", err)
+		return ExitError
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(out, "infless-lint:", err)
+		return ExitError
+	}
+	unit, err := loader.LoadAll()
+	if err != nil {
+		fmt.Fprintln(out, "infless-lint:", err)
+		return ExitError
+	}
+
+	// Patterns are relative to dir; package dirs are relative to the
+	// module root. Rebase the patterns onto the root.
+	offset, err := filepath.Rel(root, dir)
+	if err != nil || offset == "." {
+		offset = ""
+	}
+	offset = filepath.ToSlash(offset)
+
+	match := func(pkgDir string) bool {
+		for _, p := range patterns {
+			if matchPattern(offset, p, pkgDir) {
+				return true
+			}
+		}
+		return false
+	}
+
+	diags := RunAll(unit, Analyzers())
+	n := 0
+	dirOf := dirIndex(unit)
+	for _, d := range diags {
+		if !match(dirOf[d.Pos.Filename]) {
+			continue
+		}
+		fmt.Fprintln(out, d)
+		n++
+	}
+	if n > 0 {
+		fmt.Fprintf(out, "infless-lint: %d issue(s)\n", n)
+		return ExitDiags
+	}
+	return ExitClean
+}
+
+// dirIndex maps every loaded file (module-relative) to its package dir.
+func dirIndex(u *Unit) map[string]string {
+	idx := map[string]string{}
+	for _, pkg := range u.Pkgs {
+		for _, f := range pkg.Files {
+			idx[u.Fset.Position(f.Pos()).Filename] = pkg.Dir
+		}
+	}
+	return idx
+}
+
+// matchPattern reports whether the module-relative package directory
+// pkgDir matches pattern (itself relative to offset within the module).
+func matchPattern(offset, pattern, pkgDir string) bool {
+	p := strings.TrimPrefix(pattern, "./")
+	if p == "." {
+		p = ""
+	}
+	recursive := false
+	if p == "..." {
+		p, recursive = "", true
+	} else if rest, ok := strings.CutSuffix(p, "/..."); ok {
+		p, recursive = rest, true
+	}
+	p = path.Join(offset, p)
+	if p == "." {
+		p = ""
+	}
+	if recursive {
+		return p == "" || pkgDir == p || strings.HasPrefix(pkgDir, p+"/")
+	}
+	return pkgDir == p
+}

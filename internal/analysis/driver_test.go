@@ -1,0 +1,124 @@
+package analysis
+
+// driver_test.go exercises the lint driver end-to-end: the live tree is
+// clean (the check.sh gate depends on that), and a seeded violation in
+// a copy of the tree makes the driver exit non-zero.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDriverCleanOnRepo(t *testing.T) {
+	var out bytes.Buffer
+	if code := Main(&out, repoRootT(t), []string{"./..."}); code != ExitClean {
+		t.Fatalf("infless-lint on the live tree: exit %d, want %d\n%s", code, ExitClean, out.String())
+	}
+}
+
+func TestDriverSeededViolationFails(t *testing.T) {
+	tmp := t.TempDir()
+	copyGoTree(t, repoRootT(t), tmp)
+	seed := filepath.Join(tmp, "internal", "sim", "zz_seeded_violation.go")
+	src := `package sim
+
+import "time"
+
+func seededViolation() time.Duration { return time.Since(time.Unix(0, 0)) }
+`
+	if err := os.WriteFile(seed, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	code := Main(&out, tmp, []string{"./..."})
+	if code != ExitDiags {
+		t.Fatalf("seeded violation: exit %d, want %d\n%s", code, ExitDiags, out.String())
+	}
+	if !strings.Contains(out.String(), "wallclock") || !strings.Contains(out.String(), "zz_seeded_violation.go") {
+		t.Fatalf("diagnostic should name the seeded wallclock violation:\n%s", out.String())
+	}
+}
+
+func TestDriverPatternFiltersReport(t *testing.T) {
+	tmp := t.TempDir()
+	copyGoTree(t, repoRootT(t), tmp)
+	seed := filepath.Join(tmp, "internal", "sim", "zz_seeded_violation.go")
+	src := `package sim
+
+import "time"
+
+func seededViolation() time.Duration { return time.Since(time.Unix(0, 0)) }
+`
+	if err := os.WriteFile(seed, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if code := Main(&out, tmp, []string{"./internal/cluster"}); code != ExitClean {
+		t.Fatalf("pattern excluding the violation should exit clean, got %d\n%s", code, out.String())
+	}
+	out.Reset()
+	if code := Main(&out, tmp, []string{"./internal/sim"}); code != ExitDiags {
+		t.Fatalf("pattern covering the violation should exit %d, got %d\n%s", ExitDiags, code, out.String())
+	}
+}
+
+func TestMatchPattern(t *testing.T) {
+	cases := []struct {
+		offset, pattern, dir string
+		want                 bool
+	}{
+		{"", "./...", "internal/sim", true},
+		{"", "./...", "", true},
+		{"", "./internal/sim", "internal/sim", true},
+		{"", "./internal/sim", "internal/simclock", false},
+		{"", "./internal/sim/...", "internal/sim/sub", true},
+		{"", "internal/sim", "internal/sim", true},
+		{"internal", "./sim", "internal/sim", true},
+		{"internal", "./...", "internal/sim", true},
+		{"internal", "./...", "cmd/infless-lint", false},
+	}
+	for _, c := range cases {
+		if got := matchPattern(c.offset, c.pattern, c.dir); got != c.want {
+			t.Errorf("matchPattern(%q, %q, %q) = %v, want %v", c.offset, c.pattern, c.dir, got, c.want)
+		}
+	}
+}
+
+// copyGoTree copies go.mod and every .go file (skipping .git) so a
+// temp copy of the module loads exactly like the original.
+func copyGoTree(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == ".git" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if d.Name() != "go.mod" && !strings.HasSuffix(d.Name(), ".go") {
+			return nil
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		out := filepath.Join(dst, rel)
+		if err := os.MkdirAll(filepath.Dir(out), 0o755); err != nil {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(out, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

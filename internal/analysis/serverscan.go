@@ -1,0 +1,57 @@
+package analysis
+
+// serverscan forbids calls to Cluster.Servers() from the scheduler.
+// PR 3 replaced scheduleOne's linear scan over the server list with the
+// cluster's free-capacity index (BestFit/FirstFit) — a 123x win on the
+// 2,000-server cluster — and the only way to regress it is to reach for
+// the full server slice again. Reads of the slice elsewhere (reporting,
+// benchmarks, baselines) are legitimate.
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// serverScanScopes is where the ban applies.
+var serverScanScopes = []string{"internal/scheduler"}
+
+// ServerScanAnalyzer implements the serverscan check.
+var ServerScanAnalyzer = &Analyzer{
+	Name: "serverscan",
+	Doc:  "forbid Cluster.Servers() scans in the scheduler; use BestFit/FirstFit",
+	Run:  runServerScan,
+}
+
+func runServerScan(u *Unit) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range u.Pkgs {
+		if !inScope(pkg.Path, serverScanScopes) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := funcOf(pkg.Info, call)
+				if fn == nil || fn.Name() != "Servers" {
+					return true
+				}
+				named := recvNamed(fn)
+				if named == nil || named.Obj().Name() != "Cluster" || named.Obj().Pkg() == nil ||
+					!strings.HasSuffix(named.Obj().Pkg().Path(), "internal/cluster") {
+					return true
+				}
+				diags = append(diags, Diagnostic{
+					Analyzer: "serverscan",
+					Pos:      u.Fset.Position(call.Pos()),
+					Message: "Cluster.Servers() scan in the scheduler; placement must go through " +
+						"cluster.BestFit/FirstFit (the free-capacity index)",
+				})
+				return true
+			})
+		}
+	}
+	return diags
+}

@@ -1,0 +1,31 @@
+// Package mobad is a maporder corpus: each map iteration here feeds an
+// ordered artifact without sorting and must be flagged.
+package mobad
+
+import "fmt"
+
+// Keys appends map keys in iteration order and never sorts them.
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to keys inside iteration over map m"
+	}
+	return keys
+}
+
+// Sum accumulates floats in iteration order; float addition is not
+// associative, so the low bits depend on the order.
+func Sum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want "float accumulation into total inside iteration over map m"
+	}
+	return total
+}
+
+// Dump prints in iteration order.
+func Dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "ordered output via Println inside iteration over map m"
+	}
+}

@@ -1,0 +1,54 @@
+// Package mogood is the clean maporder corpus: the collect-then-sort
+// idiom, integer accumulation and per-key map writes are all
+// order-independent.
+package mogood
+
+import "sort"
+
+// Keys collects then sorts — the sanctioned idiom.
+func Keys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Count accumulates integers, which is exact in any order.
+func Count(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Invert writes per-key entries into another map.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// SumSorted accumulates floats over sorted keys: the iteration is over
+// a slice, not the map, so the order is fixed.
+func SumSorted(m map[string]float64) float64 {
+	var total float64
+	for _, k := range Keys2(m) {
+		total += m[k]
+	}
+	return total
+}
+
+// Keys2 is Keys for a float-valued map.
+func Keys2(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,15 @@
+// Package ssbad scans the server list from a scheduler-scoped package.
+package ssbad
+
+import "github.com/tanklab/infless/internal/cluster"
+
+// Scan iterates every server: the pre-index placement pattern.
+func Scan(cl *cluster.Cluster) int {
+	n := 0
+	for _, s := range cl.Servers() { // want "Cluster\.Servers\(\) scan in the scheduler"
+		if !s.Down() {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,17 @@
+// Package ssgood places through the free-capacity index: the sanctioned
+// placement queries.
+package ssgood
+
+import (
+	"github.com/tanklab/infless/internal/cluster"
+	"github.com/tanklab/infless/internal/perf"
+)
+
+// Place asks the index for the best host.
+func Place(cl *cluster.Cluster, res perf.Resources, memMB int) (int, bool) {
+	id, _, ok := cl.BestFit(res, memMB)
+	if !ok {
+		id, _, ok = cl.FirstFit(res, memMB)
+	}
+	return id, ok
+}

@@ -1,0 +1,12 @@
+// Package sdhome is the singledef corpus's home package: the one place
+// the test's invariant table allows these declarations to live.
+package sdhome
+
+// Anchor is the single-definition function under test.
+func Anchor() int { return 1 }
+
+// Widget is the single-definition type under test.
+type Widget struct{}
+
+// Span is the single-definition method under test.
+func (Widget) Span() int { return 1 }

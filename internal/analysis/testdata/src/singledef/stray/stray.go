@@ -1,0 +1,11 @@
+// Package sdstray re-declares singledef-guarded names outside their
+// home file, plus a forbidden private policy type.
+package sdstray
+
+// Anchor duplicates the guarded function.
+func Anchor() int { return 2 }
+
+// rateEstimator re-grows a private policy outside internal/runtime.
+type rateEstimator struct{}
+
+var _ = rateEstimator{}

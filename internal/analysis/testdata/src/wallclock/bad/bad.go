@@ -1,0 +1,22 @@
+// Package wcbad is a wallclock corpus: every wall-clock read and global
+// math/rand use here must be flagged when the package is analyzed under
+// a deterministic import path.
+package wcbad
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the host clock four ways.
+func Stamp() time.Duration {
+	start := time.Now()           // want "time\.Now in deterministic package"
+	time.Sleep(time.Millisecond)  // want "time\.Sleep in deterministic package"
+	<-time.After(time.Nanosecond) // want "time\.After in deterministic package"
+	return time.Since(start)      // want "time\.Since in deterministic package"
+}
+
+// Roll uses the global math/rand stream.
+func Roll() int {
+	return rand.Intn(6) // want "global math/rand\.Intn in deterministic package"
+}

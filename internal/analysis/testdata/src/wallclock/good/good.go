@@ -1,0 +1,19 @@
+// Package wcgood is the clean wallclock corpus: seeded sources, plain
+// duration conversions and value constructors are all legal.
+package wcgood
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Jitter draws from an explicitly seeded source.
+func Jitter(seed int64) time.Duration {
+	rng := rand.New(rand.NewSource(seed))
+	return time.Duration(rng.Intn(1000)) * time.Millisecond
+}
+
+// Epoch builds a time value without reading the clock.
+func Epoch() time.Time {
+	return time.Unix(0, 0)
+}

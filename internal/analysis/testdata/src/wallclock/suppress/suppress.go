@@ -1,0 +1,19 @@
+// Package wcsuppress exercises the //lint:ignore directive: a directive
+// with a reason suppresses its finding; a directive without a reason is
+// itself a diagnostic and suppresses nothing.
+package wcsuppress
+
+import "time"
+
+// Timed suppresses its first read with a justified trailing directive;
+// the second carries a bare directive, which is rejected.
+func Timed() time.Duration {
+	t := time.Now()      //lint:ignore wallclock testdata measures wall time on purpose
+	return time.Since(t) //lint:ignore wallclock
+}
+
+// OwnLine suppresses via a directive standing on the line above.
+func OwnLine() {
+	//lint:ignore wallclock testdata measures wall time on purpose
+	time.Sleep(time.Nanosecond)
+}

@@ -1,0 +1,87 @@
+package analysis
+
+// wallclock forbids wall-clock reads and global math/rand in the
+// deterministic packages. The §5.3 methodology runs the platform's real
+// scheduling code against simulated machines, and PR 3 hardened that
+// into a byte-identical guarantee (-parallel N output equals serial
+// output); a single time.Now or shared rand stream reintroduces
+// host-dependent results that no unit test reliably catches. All time
+// must flow through simclock (or an injected clock), all randomness
+// through seeded *rand.Rand sources.
+
+import (
+	"go/ast"
+)
+
+// forbiddenTimeFuncs are the package-level time functions that read or
+// wait on the host clock. Conversions (time.Duration) and constructors
+// of plain values (time.Unix) stay legal.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// allowedRandFuncs are the math/rand package-level functions that build
+// seeded sources rather than touching the global stream.
+var allowedRandFuncs = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// WallclockAnalyzer implements the wallclock check.
+var WallclockAnalyzer = &Analyzer{
+	Name: "wallclock",
+	Doc:  "forbid wall-clock time and global math/rand in deterministic packages",
+	Run:  runWallclock,
+}
+
+func runWallclock(u *Unit) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range u.Pkgs {
+		if !inScope(pkg.Path, deterministicScopes) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := funcOf(pkg.Info, call)
+				if fn == nil || fn.Pkg() == nil || recvNamed(fn) != nil {
+					return true // methods (e.g. on *rand.Rand) are fine
+				}
+				switch fn.Pkg().Path() {
+				case "time":
+					if forbiddenTimeFuncs[fn.Name()] {
+						diags = append(diags, Diagnostic{
+							Analyzer: "wallclock",
+							Pos:      u.Fset.Position(call.Pos()),
+							Message: "time." + fn.Name() + " in deterministic package " + pkg.Path +
+								"; route time through simclock or an injected clock",
+						})
+					}
+				case "math/rand", "math/rand/v2":
+					if !allowedRandFuncs[fn.Name()] {
+						diags = append(diags, Diagnostic{
+							Analyzer: "wallclock",
+							Pos:      u.Fset.Position(call.Pos()),
+							Message: "global math/rand." + fn.Name() + " in deterministic package " + pkg.Path +
+								"; use a seeded *rand.Rand",
+						})
+					}
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}

@@ -32,8 +32,9 @@ func RunStream(exps []Experiment, opts Options, workers int, emit func(RunResult
 	}
 	if workers <= 1 {
 		for _, e := range exps {
-			start := time.Now()
+			start := time.Now() //lint:ignore wallclock Took is wall-clock experiment timing, not simulated time
 			table := e.Run(opts)
+			//lint:ignore wallclock Took is wall-clock experiment timing, not simulated time
 			emit(RunResult{Experiment: e, Table: table, Took: time.Since(start)})
 		}
 		return
@@ -59,8 +60,9 @@ func RunStream(exps []Experiment, opts Options, workers int, emit func(RunResult
 				} else {
 					excl.RLock()
 				}
-				start := time.Now()
+				start := time.Now() //lint:ignore wallclock Took is wall-clock experiment timing, not simulated time
 				table := exps[i].Run(opts)
+				//lint:ignore wallclock Took is wall-clock experiment timing, not simulated time
 				results[i] = RunResult{Experiment: exps[i], Table: table, Took: time.Since(start)}
 				if exps[i].WallClock {
 					excl.Unlock()

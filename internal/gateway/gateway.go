@@ -287,12 +287,18 @@ func (s *Server) deploy(e core.RegistryEntry) error {
 		rate:  runtime.NewRateEstimator(s.cfg.RateWindow),
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, exists := s.fns[e.Name]; exists {
+		s.mu.Unlock()
 		return &statusError{http.StatusConflict,
 			fmt.Sprintf("gateway: function %s already deployed", e.Name)}
 	}
 	s.fns[e.Name] = f
+	s.mu.Unlock()
+	// Collector entry points take their own locks and must never run
+	// under s.mu (lockedcallback). An invocation racing this Register
+	// auto-registers the name with no SLO and the Register below then
+	// sets it, so at worst a request in that window skips violation
+	// accounting.
 	s.col.Register(e.Name, e.SLO)
 	return nil
 }

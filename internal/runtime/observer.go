@@ -47,14 +47,14 @@ type Observer interface {
 // only the hooks a recorder cares about.
 type NopObserver struct{}
 
-func (NopObserver) RequestArrived(string, time.Duration)                            {}
-func (NopObserver) RequestEnqueued(string, int, time.Duration)                      {}
-func (NopObserver) BatchSubmitted(string, int, int, time.Duration)                  {}
-func (NopObserver) RequestServed(string, metrics.Sample, time.Duration)             {}
-func (NopObserver) RequestDropped(string, time.Duration)                            {}
+func (NopObserver) RequestArrived(string, time.Duration)                             {}
+func (NopObserver) RequestEnqueued(string, int, time.Duration)                       {}
+func (NopObserver) BatchSubmitted(string, int, int, time.Duration)                   {}
+func (NopObserver) RequestServed(string, metrics.Sample, time.Duration)              {}
+func (NopObserver) RequestDropped(string, time.Duration)                             {}
 func (NopObserver) InstanceLaunched(string, int, bool, time.Duration, time.Duration) {}
-func (NopObserver) InstanceReclaimed(string, int, time.Duration)                    {}
-func (NopObserver) AllocationChanged(perf.Resources, time.Duration)                 {}
+func (NopObserver) InstanceReclaimed(string, int, time.Duration)                     {}
+func (NopObserver) AllocationChanged(perf.Resources, time.Duration)                  {}
 
 // Observers fans one event stream out to several observers, in order.
 type Observers []Observer

@@ -62,4 +62,3 @@ func (m *metricsObserver) InstanceLaunched(fn string, _ int, cold bool, _, _ tim
 		f.ColdLaunches++
 	}
 }
-

@@ -1,17 +1,28 @@
 #!/bin/sh
-# scripts/check.sh is the tier-1 gate: build + vet + full test suite,
-# a race pass over the concurrently-exercised packages (the shared
-# internal/runtime policies and the wall-clock gateway that calls them
-# from many goroutines), and grep guards that keep the lifecycle
-# policies single-sourced — each must be defined exactly once, in
-# internal/runtime, and never re-grown inside a data plane.
+# scripts/check.sh is the tier-1 gate: formatting, build + vet, full
+# test suite, a race pass over the concurrently-exercised packages (the
+# shared internal/runtime policies and the wall-clock gateway that calls
+# them from many goroutines), and infless-lint — the AST/types-based
+# analyzer suite (cmd/infless-lint) that replaced the old grep guards:
+# it keeps the lifecycle policies single-sourced, the deterministic
+# packages off the wall clock, placement on the free-capacity index,
+# and observer/telemetry callbacks outside mutex critical sections.
 set -eu
 cd "$(dirname "$0")/.."
 
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "FAIL: gofmt needed on:"
+	printf '%s\n' "$unformatted"
+	exit 1
+fi
 echo "== go build"
 go build ./...
 echo "== go vet"
 go vet ./...
+echo "== infless-lint"
+go run ./cmd/infless-lint ./...
 echo "== go test"
 go test ./...
 echo "== go test -race (gateway + runtime + telemetry)"
@@ -19,58 +30,4 @@ go test -race ./internal/gateway/... ./internal/runtime/... ./internal/telemetry
 echo "== go test -race (parallel experiment runner)"
 go test -race -short -run 'TestRunStreamOrdered|TestParallelForCoversAllIndices|TestParallelAllDeterministic' ./internal/bench/
 
-echo "== single-definition guards"
-fail=0
-
-# single_def FIXED_PATTERN FILE: the pattern must appear exactly once in
-# non-test Go sources, and in that file.
-single_def() {
-	hits=$(grep -rnF --include='*.go' --exclude='*_test.go' "$1" . || true)
-	n=$(printf '%s' "$hits" | grep -c . || true)
-	if [ "$n" != 1 ] || ! printf '%s\n' "$hits" | grep -q "^\./$2:"; then
-		echo "GUARD FAIL: '$1' must be defined exactly once, in $2; found:"
-		printf '%s\n' "${hits:-<nowhere>}"
-		fail=1
-	fi
-}
-
-single_def 'func BatchTimeout(' internal/runtime/runtime.go
-single_def 'type RateEstimator struct' internal/runtime/rate.go
-single_def 'type Pool[' internal/runtime/pool.go
-single_def 'func ScaleAheadTarget(' internal/runtime/runtime.go
-
-# Telemetry single-sourcing: the log-bucketed histogram and its quantile
-# estimator are the only latency-quantile implementation in the tree —
-# every Report figure, Prometheus bucket, and JSON snapshot goes through
-# them.
-single_def 'type Histogram struct' internal/metrics/histogram.go
-single_def 'func (h *Histogram) Quantile(' internal/metrics/histogram.go
-
-# forbid REGEX WHY: private re-implementations of runtime policies must
-# not reappear in the data planes.
-forbid() {
-	hits=$(grep -rnE --include='*.go' "$1" . | grep -v '^\./internal/runtime/' || true)
-	if [ -n "$hits" ]; then
-		echo "GUARD FAIL ($2):"
-		printf '%s\n' "$hits"
-		fail=1
-	fi
-}
-
-forbid 'func batchTimeout\(|type rateEstimator |type instancePool ' \
-	'lifecycle policy helpers live in internal/runtime only'
-
-# Placement goes through the cluster's free-capacity index: the index has
-# one definition, and scheduleOne must never re-grow a linear scan over
-# the server list (the pre-index code iterated cl.Servers()).
-single_def 'type freeIndex struct' internal/cluster/index.go
-single_def 'func (c *Cluster) BestFit(' internal/cluster/cluster.go
-if grep -nE 'Servers\(\)' internal/scheduler/scheduler.go >/dev/null 2>&1; then
-	echo "GUARD FAIL: internal/scheduler/scheduler.go scans the server list;"
-	echo "placement must go through cluster.BestFit/FirstFit (free-capacity index)"
-	grep -nE 'Servers\(\)' internal/scheduler/scheduler.go
-	fail=1
-fi
-
-[ "$fail" = 0 ] || exit 1
 echo "OK"
