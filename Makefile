@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench lint
+.PHONY: check build vet test race bench lint lint-json
 
 ## check: tier-1 gate — gofmt, build, vet, infless-lint, full tests, and
 ## a race pass on the shared runtime + gateway (see scripts/check.sh).
@@ -8,9 +8,15 @@ check:
 	./scripts/check.sh
 
 ## lint: the static-analysis suite (wallclock, maporder, singledef,
-## serverscan, lockedcallback — see internal/analysis).
+## serverscan, lockedcallback, and the flow-sensitive lockorder,
+## pooledref, errflow — see internal/analysis).
 lint:
 	$(GO) run ./cmd/infless-lint ./...
+
+## lint-json: same findings as a stable JSON array ({file, line, col,
+## analyzer, message, suppressed}); CI turns it into ::error annotations.
+lint-json:
+	$(GO) run ./cmd/infless-lint -format=json ./...
 
 build:
 	$(GO) build ./...

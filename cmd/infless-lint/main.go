@@ -1,13 +1,20 @@
 // Command infless-lint runs the repo's static-analysis suite: the
 // determinism, single-sourcing, placement-index and locking-discipline
-// invariants described in internal/analysis. It loads the whole module
-// with go/parser + go/types (standard library only) and exits non-zero
-// on any unsuppressed diagnostic.
+// invariants described in internal/analysis, plus the flow-sensitive
+// lockorder / pooledref / errflow analyzers built on its CFG+dataflow
+// layer. It loads the whole module with go/parser + go/types (standard
+// library only) and exits non-zero on any unsuppressed diagnostic.
 //
 // Usage:
 //
 //	go run ./cmd/infless-lint ./...
 //	go run ./cmd/infless-lint ./internal/sim ./internal/bench/...
+//	go run ./cmd/infless-lint -format=json ./...
+//
+// -format=json emits a stable array of {file, line, col, analyzer,
+// message, suppressed} objects — suppressed findings are included for
+// audit but never affect the exit code. CI turns the unsuppressed ones
+// into GitHub ::error annotations.
 //
 // Suppress a finding with a justified directive on the same line or the
 // line above:
@@ -16,11 +23,14 @@
 package main
 
 import (
+	"flag"
 	"os"
 
 	"github.com/tanklab/infless/internal/analysis"
 )
 
 func main() {
-	os.Exit(analysis.Main(os.Stdout, ".", os.Args[1:]))
+	format := flag.String("format", "text", "output format: text or json")
+	flag.Parse()
+	os.Exit(analysis.Run(os.Stdout, ".", *format, flag.Args()))
 }

@@ -5,7 +5,7 @@
 // packages and the single-sourcing of runtime policies extracted in the
 // shared internal/runtime layer.
 //
-// Five analyzers run over the whole module:
+// Eight analyzers run over the whole module:
 //
 //   - wallclock:      no wall-clock time or global math/rand in the
 //     deterministic packages; time flows through simclock, randomness
@@ -22,6 +22,19 @@
 //   - lockedcallback: runtime.Observer callbacks and telemetry
 //     Collector entry points are never invoked between a mutex Lock and
 //     its Unlock in the gateway or telemetry packages.
+//
+// Three further analyzers are flow-sensitive, built on the package's
+// CFG + dataflow layer (cfg.go, dataflow.go, callgraph.go):
+//
+//   - lockorder:  mutex acquisition order is globally consistent; a
+//     cycle in the lock graph (including one through a call chain) is a
+//     latent deadlock, and re-acquiring a held mutex a certain one.
+//   - pooledref:  stored *simclock.Event references obey the pooling
+//     contract — callbacks drop the stored reference on every path and
+//     Cancel sites clear the field before function exit.
+//   - errflow:    control-plane packages never silently drop error
+//     results, whether discarded at the call or assigned to a variable
+//     no path reads.
 //
 // A finding can be suppressed with a directive on the same line or the
 // line above:
@@ -118,6 +131,7 @@ type ignoreDirective struct {
 	reason string
 	file   string
 	line   int
+	pos    token.Position // the directive's own position, for unused reports
 }
 
 const directivePrefix = "lint:ignore"
@@ -155,7 +169,7 @@ func directives(u *Unit) ([]ignoreDirective, []Diagnostic) {
 					if !code[line] {
 						line++ // own-line directive covers the line below
 					}
-					dirs = append(dirs, ignoreDirective{name: name, reason: reason, file: pos.Filename, line: line})
+					dirs = append(dirs, ignoreDirective{name: name, reason: reason, file: pos.Filename, line: line, pos: pos})
 				}
 			}
 		}
@@ -183,40 +197,72 @@ func codeLines(fset *token.FileSet, f *ast.File) map[int]bool {
 	return lines
 }
 
-// filterIgnored drops diagnostics covered by a well-formed directive.
-func filterIgnored(diags []Diagnostic, dirs []ignoreDirective) []Diagnostic {
+// splitIgnored partitions diagnostics into active and suppressed, and
+// records which directives suppressed something.
+func splitIgnored(diags []Diagnostic, dirs []ignoreDirective) (active, suppressed []Diagnostic, used []bool) {
 	type key struct {
 		file string
 		line int
 		name string
 	}
-	idx := map[key]bool{}
-	for _, d := range dirs {
-		idx[key{d.file, d.line, d.name}] = true
+	idx := map[key]int{}
+	for i, d := range dirs {
+		idx[key{d.file, d.line, d.name}] = i
 	}
-	kept := diags[:0]
+	used = make([]bool, len(dirs))
 	for _, d := range diags {
-		if idx[key{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+		if i, ok := idx[key{d.Pos.Filename, d.Pos.Line, d.Analyzer}]; ok {
+			used[i] = true
+			suppressed = append(suppressed, d)
 			continue
 		}
-		kept = append(kept, d)
+		active = append(active, d)
 	}
-	return kept
+	return active, suppressed, used
 }
 
-// RunAll runs the analyzers over the unit, applies //lint:ignore
-// suppressions, and returns the surviving diagnostics sorted by
-// position.
-func RunAll(u *Unit, analyzers []*Analyzer) []Diagnostic {
+// RunAllDetail runs the analyzers over the unit and applies
+// //lint:ignore suppressions, returning both the surviving diagnostics
+// (including malformed- and unused-directive findings) and the
+// suppressed ones, each sorted by position. A directive naming one of
+// the run analyzers that suppresses nothing is itself a diagnostic —
+// dead suppressions outlive the code they excused and hide the next
+// real finding on that line. Directives naming analyzers outside the
+// run set are left alone so partial runs stay quiet.
+func RunAllDetail(u *Unit, analyzers []*Analyzer) (active, suppressed []Diagnostic) {
 	var all []Diagnostic
+	names := map[string]bool{}
 	for _, a := range analyzers {
+		names[a.Name] = true
 		all = append(all, a.Run(u)...)
 	}
 	dirs, dirDiags := directives(u)
-	all = filterIgnored(all, dirs)
-	all = append(all, dirDiags...)
-	sort.Slice(all, func(i, j int) bool {
-		a, b := all[i], all[j]
+	active, suppressed, used := splitIgnored(all, dirs)
+	active = append(active, dirDiags...)
+	for i, d := range dirs {
+		if used[i] || !names[d.name] {
+			continue
+		}
+		active = append(active, Diagnostic{
+			Analyzer: "directive",
+			Pos:      d.pos,
+			Message:  "//lint:ignore " + d.name + " suppresses nothing; remove the stale directive",
+		})
+	}
+	sortDiags(active)
+	sortDiags(suppressed)
+	return active, suppressed
+}
+
+// RunAll is RunAllDetail without the suppressed half.
+func RunAll(u *Unit, analyzers []*Analyzer) []Diagnostic {
+	active, _ := RunAllDetail(u, analyzers)
+	return active
+}
+
+func sortDiags(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
@@ -228,7 +274,6 @@ func RunAll(u *Unit, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return all
 }
 
 // Analyzers returns the full infless-lint suite.
@@ -239,6 +284,9 @@ func Analyzers() []*Analyzer {
 		SingleDefAnalyzer,
 		ServerScanAnalyzer,
 		LockedCallbackAnalyzer,
+		LockOrderAnalyzer,
+		PooledRefAnalyzer,
+		ErrFlowAnalyzer,
 	}
 }
 

@@ -1,0 +1,82 @@
+package analysis
+
+// dataflow.go is a small forward-dataflow framework over the CFG: a
+// lattice (Bottom/Join/Equal) plus a per-node Transfer, iterated with a
+// worklist to a fixpoint. The join runs only over edges that have
+// actually propagated a fact, so the same engine serves may-analyses
+// (Join = union: a fact holds if it holds on some path) and
+// must-analyses (Join = intersection: it holds on every path) —
+// unreached predecessors simply do not contribute.
+
+import "go/ast"
+
+// Facts defines one forward analysis. F must behave as an immutable
+// value: Transfer and Join return fresh values and never mutate their
+// inputs (facts are shared across blocks).
+type Facts[F any] struct {
+	// Join merges the facts of two incoming edges.
+	Join func(a, b F) F
+	// Equal detects the fixpoint.
+	Equal func(a, b F) bool
+	// Transfer applies one statement-level CFG node to the fact.
+	Transfer func(f F, n ast.Node) F
+}
+
+// Forward computes the fixpoint of fx over c starting from the entry
+// fact, returning the in-fact of every reached block (including
+// c.Exit, whose in-fact is the merged at-exit state).
+func Forward[F any](c *CFG, entry F, fx Facts[F]) map[*Block]F {
+	ins := map[*Block]F{c.Entry: entry}
+	work := []*Block{c.Entry}
+	inWork := map[*Block]bool{c.Entry: true}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		inWork[blk] = false
+		out := ins[blk]
+		for _, n := range blk.Nodes {
+			out = fx.Transfer(out, n)
+		}
+		for _, succ := range blk.Succs {
+			var next F
+			if prev, seen := ins[succ]; seen {
+				next = fx.Join(prev, out)
+				if fx.Equal(prev, next) {
+					continue
+				}
+			} else {
+				next = out
+			}
+			ins[succ] = next
+			if !inWork[succ] {
+				inWork[succ] = true
+				work = append(work, succ)
+			}
+		}
+	}
+	return ins
+}
+
+// VisitWithFacts replays the transfer over every reached block from its
+// fixpoint in-fact, calling visit(fact, node) with the fact holding
+// immediately BEFORE each node. Analyzers use this to emit diagnostics
+// at specific statements once Forward has converged.
+func VisitWithFacts[F any](c *CFG, ins map[*Block]F, fx Facts[F], visit func(f F, n ast.Node)) {
+	for _, blk := range c.Blocks {
+		f, seen := ins[blk]
+		if !seen {
+			continue // unreachable
+		}
+		for _, n := range blk.Nodes {
+			visit(f, n)
+			f = fx.Transfer(f, n)
+		}
+	}
+}
+
+// ExitFact returns the merged fact at function exit and whether the
+// exit is reachable at all.
+func ExitFact[F any](c *CFG, ins map[*Block]F) (F, bool) {
+	f, ok := ins[c.Exit]
+	return f, ok
+}

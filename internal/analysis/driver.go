@@ -6,6 +6,7 @@ package analysis
 // patterns only filter which packages' diagnostics are reported.
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"path"
@@ -20,11 +21,34 @@ const (
 	ExitError = 2 // the module failed to load or type-check
 )
 
+// JSONDiagnostic is one finding in the -format=json output. The schema
+// is stable — CI parses it into GitHub error annotations.
+type JSONDiagnostic struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
 // Main loads the module containing dir, runs the suite over the
 // packages matching patterns (Go-style: "./...", "./internal/sim",
 // "./internal/bench/..."), prints diagnostics to out, and returns the
 // process exit code.
 func Main(out io.Writer, dir string, patterns []string) int {
+	return Run(out, dir, "text", patterns)
+}
+
+// Run is Main with an output format: "text" prints one line per
+// finding; "json" emits a JSONDiagnostic array that also includes
+// //lint:ignore-suppressed findings (marked suppressed, never counted
+// toward the exit code).
+func Run(out io.Writer, dir, format string, patterns []string) int {
+	if format != "text" && format != "json" {
+		fmt.Fprintf(out, "infless-lint: unknown format %q (want text or json)\n", format)
+		return ExitError
+	}
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -61,18 +85,50 @@ func Main(out io.Writer, dir string, patterns []string) int {
 		return false
 	}
 
-	diags := RunAll(unit, Analyzers())
-	n := 0
+	active, suppressed := RunAllDetail(unit, Analyzers())
 	dirOf := dirIndex(unit)
-	for _, d := range diags {
-		if !match(dirOf[d.Pos.Filename]) {
-			continue
+	n := 0
+	if format == "json" {
+		report := []JSONDiagnostic{}
+		emit := func(diags []Diagnostic, suppressed bool) {
+			for _, d := range diags {
+				if !match(dirOf[d.Pos.Filename]) {
+					continue
+				}
+				report = append(report, JSONDiagnostic{
+					File:       d.Pos.Filename,
+					Line:       d.Pos.Line,
+					Col:        d.Pos.Column,
+					Analyzer:   d.Analyzer,
+					Message:    d.Message,
+					Suppressed: suppressed,
+				})
+				if !suppressed {
+					n++
+				}
+			}
 		}
-		fmt.Fprintln(out, d)
-		n++
+		emit(active, false)
+		emit(suppressed, true)
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(out, "infless-lint:", err)
+			return ExitError
+		}
+	} else {
+		for _, d := range active {
+			if !match(dirOf[d.Pos.Filename]) {
+				continue
+			}
+			fmt.Fprintln(out, d)
+			n++
+		}
+		if n > 0 {
+			fmt.Fprintf(out, "infless-lint: %d issue(s)\n", n)
+		}
 	}
 	if n > 0 {
-		fmt.Fprintf(out, "infless-lint: %d issue(s)\n", n)
 		return ExitDiags
 	}
 	return ExitClean

@@ -6,6 +6,7 @@ package analysis
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -62,6 +63,119 @@ func seededViolation() time.Duration { return time.Since(time.Unix(0, 0)) }
 	out.Reset()
 	if code := Main(&out, tmp, []string{"./internal/sim"}); code != ExitDiags {
 		t.Fatalf("pattern covering the violation should exit %d, got %d\n%s", ExitDiags, code, out.String())
+	}
+}
+
+// TestDriverSeededFlowViolations seeds one violation per flow-sensitive
+// analyzer into a copy of the tree and checks both output formats: text
+// mode names all three analyzers and exits non-zero; JSON mode carries
+// the same findings in the stable schema, with the tree's own
+// //lint:ignore'd findings present but marked suppressed.
+func TestDriverSeededFlowViolations(t *testing.T) {
+	tmp := t.TempDir()
+	copyGoTree(t, repoRootT(t), tmp)
+	seeds := map[string]string{
+		filepath.Join(tmp, "internal", "gateway", "zz_seeded_lockorder.go"): `package gateway
+
+import "sync"
+
+type zzA struct{ mu sync.Mutex }
+
+type zzB struct{ mu sync.Mutex }
+
+type zzPair struct {
+	a zzA
+	b zzB
+}
+
+func (p *zzPair) zzForward() {
+	p.a.mu.Lock()
+	p.b.mu.Lock()
+	p.b.mu.Unlock()
+	p.a.mu.Unlock()
+}
+
+func (p *zzPair) zzInverted() {
+	p.b.mu.Lock()
+	p.a.mu.Lock()
+	p.a.mu.Unlock()
+	p.b.mu.Unlock()
+}
+`,
+		filepath.Join(tmp, "internal", "sim", "zz_seeded_pooledref.go"): `package sim
+
+import "github.com/tanklab/infless/internal/simclock"
+
+type zzHolder struct {
+	clock *simclock.Clock
+	ev    *simclock.Event
+}
+
+func (h *zzHolder) zzArm(at simclock.Time) {
+	h.ev = h.clock.ScheduleAt(at, func() {})
+}
+`,
+		filepath.Join(tmp, "internal", "cluster", "zz_seeded_errflow.go"): `package cluster
+
+import "errors"
+
+func zzWork() error { return errors.New("x") }
+
+func zzDrop() {
+	zzWork()
+}
+`,
+	}
+	for path, src := range seeds {
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var out bytes.Buffer
+	if code := Main(&out, tmp, []string{"./..."}); code != ExitDiags {
+		t.Fatalf("seeded violations: exit %d, want %d\n%s", code, ExitDiags, out.String())
+	}
+	for _, name := range []string{"lockorder", "pooledref", "errflow"} {
+		if !strings.Contains(out.String(), "["+name+"]") {
+			t.Errorf("text output should carry a %s finding:\n%s", name, out.String())
+		}
+	}
+
+	out.Reset()
+	if code := Run(&out, tmp, "json", []string{"./..."}); code != ExitDiags {
+		t.Fatalf("json run: exit %d, want %d\n%s", code, ExitDiags, out.String())
+	}
+	var report []JSONDiagnostic
+	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
+		t.Fatalf("json output does not parse: %v\n%s", err, out.String())
+	}
+	active := map[string]bool{}
+	sawSuppressed := false
+	for _, d := range report {
+		if d.File == "" || d.Line == 0 || d.Analyzer == "" || d.Message == "" {
+			t.Errorf("incomplete JSON diagnostic: %+v", d)
+		}
+		if d.Suppressed {
+			sawSuppressed = true
+			continue
+		}
+		active[d.Analyzer] = true
+	}
+	for _, name := range []string{"lockorder", "pooledref", "errflow"} {
+		if !active[name] {
+			t.Errorf("json output should carry an unsuppressed %s finding", name)
+		}
+	}
+	if !sawSuppressed {
+		t.Error("json output should include the tree's //lint:ignore'd findings as suppressed")
+	}
+}
+
+func TestDriverRejectsUnknownFormat(t *testing.T) {
+	var out bytes.Buffer
+	if code := Run(&out, repoRootT(t), "yaml", nil); code != ExitError {
+		t.Fatalf("unknown format: exit %d, want %d", code, ExitError)
 	}
 }
 

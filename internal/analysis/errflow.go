@@ -1,0 +1,416 @@
+package analysis
+
+// errflow finds silently dropped errors in the control-plane packages
+// (scheduler, cluster, gateway, telemetry, bench). Two shapes:
+//
+//   - an error-returning call used as a bare statement ("discarded"):
+//     the result never existed as a value;
+//   - an error assigned to a local variable that no path ever reads
+//     before the variable is overwritten or the function returns
+//     ("assigned then never read") — a flow-sensitive property computed
+//     by forward reachability over the CFG from each definition.
+//
+// Deliberate drops are written as `_ = call()` or carry a
+// //lint:ignore errflow directive. Exemptions that keep the analyzer
+// quiet on idiomatic code: fmt.Print*/Fprint* (their error is about the
+// destination writer, conventionally ignored on stderr/stdout),
+// strings.Builder and bytes.Buffer writes (documented to never fail),
+// deferred calls (defer cannot bind a result), and variables captured
+// by a closure (the read may happen on another goroutine or later
+// invocation, beyond intraprocedural reach).
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// errFlowScope lists the package-path suffixes the analyzer covers.
+var errFlowScope = []string{
+	"internal/scheduler",
+	"internal/cluster",
+	"internal/gateway",
+	"internal/telemetry",
+	"internal/bench",
+}
+
+// ErrFlowAnalyzer implements the errflow check.
+var ErrFlowAnalyzer = &Analyzer{
+	Name: "errflow",
+	Doc:  "error results in control-plane packages must be read on some path or explicitly discarded",
+	Run:  runErrFlow,
+}
+
+func runErrFlow(u *Unit) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range u.Pkgs {
+		if !errFlowInScope(pkg.Path) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				diags = append(diags, sweepErrFlow(u, pkg, fd.Body, namedResultObjs(pkg, fd))...)
+			}
+		}
+	}
+	return diags
+}
+
+func errFlowInScope(path string) bool {
+	for _, s := range errFlowScope {
+		if strings.HasSuffix(path, s) || strings.Contains(path, s+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// namedResultObjs returns the objects of fd's named result parameters:
+// a bare `return` reads all of them.
+func namedResultObjs(pkg *Package, fd *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	if fd.Type.Results == nil {
+		return out
+	}
+	for _, field := range fd.Type.Results.List {
+		for _, name := range field.Names {
+			if obj := pkg.Info.Defs[name]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// sweepErrFlow checks one body; function literals recurse as separate
+// roots (a literal's named results are its own).
+func sweepErrFlow(u *Unit, pkg *Package, body *ast.BlockStmt, namedResults map[types.Object]bool) []Diagnostic {
+	cfg := BuildCFG(body)
+	var diags []Diagnostic
+	diags = append(diags, checkDiscards(u, pkg, cfg)...)
+	diags = append(diags, checkDeadAssigns(u, pkg, cfg, body, namedResults)...)
+	for _, lit := range cfg.FuncLits {
+		litResults := map[types.Object]bool{}
+		if lit.Type.Results != nil {
+			for _, field := range lit.Type.Results.List {
+				for _, name := range field.Names {
+					if obj := pkg.Info.Defs[name]; obj != nil {
+						litResults[obj] = true
+					}
+				}
+			}
+		}
+		diags = append(diags, sweepErrFlow(u, pkg, lit.Body, litResults)...)
+	}
+	return diags
+}
+
+// checkDiscards flags expression statements whose call returns an error
+// that vanishes.
+func checkDiscards(u *Unit, pkg *Package, cfg *CFG) []Diagnostic {
+	var diags []Diagnostic
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if !returnsError(pkg.Info, call) || exemptDiscard(pkg.Info, call) {
+				continue
+			}
+			diags = append(diags, Diagnostic{
+				Analyzer: "errflow",
+				Pos:      u.Fset.Position(call.Pos()),
+				Message:  "error result of " + calleeLabel(pkg.Info, call) + " is discarded; handle it, return it, or assign to _ deliberately",
+			})
+		}
+	}
+	return diags
+}
+
+// returnsError reports whether any result of the call has type error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(tv.Type)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// exemptDiscard allows the conventional always-ignored error sources.
+func exemptDiscard(info *types.Info, call *ast.CallExpr) bool {
+	fn := funcOf(info, call)
+	if fn == nil {
+		return false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+		(strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+		return true
+	}
+	if named := recvNamed(fn); named != nil && named.Obj().Pkg() != nil {
+		pkgPath, typeName := named.Obj().Pkg().Path(), named.Obj().Name()
+		if (pkgPath == "strings" && typeName == "Builder") ||
+			(pkgPath == "bytes" && typeName == "Buffer") {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeLabel names the call target for the diagnostic message.
+func calleeLabel(info *types.Info, call *ast.CallExpr) string {
+	if fn := funcOf(info, call); fn != nil {
+		if named := recvNamed(fn); named != nil {
+			return named.Obj().Name() + "." + fn.Name()
+		}
+		if fn.Pkg() != nil {
+			return fn.Pkg().Name() + "." + fn.Name()
+		}
+		return fn.Name()
+	}
+	return types.ExprString(call.Fun)
+}
+
+// errDef is one assignment of an error value to a local variable.
+type errDef struct {
+	assign *ast.AssignStmt
+	obj    types.Object
+	name   string
+	block  *Block
+	index  int // position of the assign node within block.Nodes
+}
+
+// checkDeadAssigns flags error variables assigned from a call and never
+// read on any path before redefinition or exit.
+func checkDeadAssigns(u *Unit, pkg *Package, cfg *CFG, body *ast.BlockStmt, namedResults map[types.Object]bool) []Diagnostic {
+	captured := capturedObjs(pkg, cfg)
+	var diags []Diagnostic
+	for _, def := range collectErrDefs(pkg, cfg) {
+		if captured[def.obj] || namedResults[def.obj] {
+			continue
+		}
+		if def.obj.Pos() < body.Pos() || def.obj.Pos() > body.End() {
+			continue // parameter or package-level var: reads happen elsewhere
+		}
+		if !defEverRead(pkg, cfg, def, namedResults) {
+			diags = append(diags, Diagnostic{
+				Analyzer: "errflow",
+				Pos:      u.Fset.Position(def.assign.Pos()),
+				Message:  "error assigned to " + def.name + " is never read on any path; handle it or discard with _",
+			})
+		}
+	}
+	return diags
+}
+
+// collectErrDefs finds assignments of call results to local error vars.
+func collectErrDefs(pkg *Package, cfg *CFG) []errDef {
+	var defs []errDef
+	for _, blk := range cfg.Blocks {
+		for i, n := range blk.Nodes {
+			as, ok := unwrapAssign(n)
+			if !ok {
+				continue
+			}
+			if !rhsHasCall(as) {
+				continue
+			}
+			for _, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := pkg.Info.Defs[id]
+				if obj == nil {
+					obj = pkg.Info.Uses[id]
+				}
+				if obj == nil || !isErrorType(obj.Type()) {
+					continue
+				}
+				defs = append(defs, errDef{assign: as, obj: obj, name: id.Name, block: blk, index: i})
+			}
+		}
+	}
+	return defs
+}
+
+// unwrapAssign extracts the AssignStmt from a CFG node: a direct
+// statement, or the Init of an if/for/switch recorded as its own node.
+func unwrapAssign(n ast.Node) (*ast.AssignStmt, bool) {
+	as, ok := n.(*ast.AssignStmt)
+	return as, ok
+}
+
+// rhsHasCall reports whether the assignment's RHS contains a call (the
+// analyzer only tracks errors produced by calls, not re-shuffles).
+func rhsHasCall(as *ast.AssignStmt) bool {
+	for _, rhs := range as.Rhs {
+		found := false
+		ast.Inspect(rhs, func(n ast.Node) bool {
+			if _, ok := n.(*ast.CallExpr); ok {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// capturedObjs returns the objects referenced inside any function
+// literal of the body — their reads may happen beyond this CFG.
+func capturedObjs(pkg *Package, cfg *CFG) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	var scan func(lit *ast.FuncLit)
+	scan = func(lit *ast.FuncLit) {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := pkg.Info.Uses[id]; obj != nil {
+					out[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	for _, lit := range cfg.FuncLits {
+		scan(lit)
+	}
+	return out
+}
+
+// defEverRead walks forward from the definition looking for a read of
+// def.obj before a redefinition kills it on that path.
+func defEverRead(pkg *Package, cfg *CFG, def errDef, namedResults map[types.Object]bool) bool {
+	// Tail of the defining block first.
+	for _, n := range def.block.Nodes[def.index+1:] {
+		switch scanNodeForObj(pkg, n, def.obj, namedResults) {
+		case objRead:
+			return true
+		case objKilled:
+			return false
+		}
+	}
+	// Then breadth-first over successors.
+	seen := map[*Block]bool{def.block: true}
+	work := append([]*Block(nil), def.block.Succs...)
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		if seen[blk] {
+			continue
+		}
+		seen[blk] = true
+		killed := false
+		for _, n := range blk.Nodes {
+			switch scanNodeForObj(pkg, n, def.obj, namedResults) {
+			case objRead:
+				return true
+			case objKilled:
+				killed = true
+			}
+			if killed {
+				break
+			}
+		}
+		if !killed {
+			work = append(work, blk.Succs...)
+		}
+	}
+	return false
+}
+
+type objFate int
+
+const (
+	objUntouched objFate = iota
+	objRead
+	objKilled
+)
+
+// scanNodeForObj classifies one CFG node's effect on obj: a read
+// anywhere in the node wins over a kill (in `err = wrap(err)` the RHS
+// reads the old value before the LHS redefines it).
+func scanNodeForObj(pkg *Package, n ast.Node, obj types.Object, namedResults map[types.Object]bool) objFate {
+	read, killed := false, false
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false // captured objs are excluded upfront
+		case *ast.AssignStmt:
+			for _, lhs := range m.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if pkg.Info.Defs[id] == obj || pkg.Info.Uses[id] == obj {
+						killed = true
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			if m.Results == nil && len(namedResults) > 0 {
+				// A bare return reads every named result.
+				if namedResults[obj] {
+					read = true
+				}
+			}
+		case *ast.Ident:
+			if pkg.Info.Uses[m] == obj && !isAssignTarget(n, m) {
+				read = true
+			}
+		}
+		return true
+	})
+	if read {
+		return objRead
+	}
+	if killed {
+		return objKilled
+	}
+	return objUntouched
+}
+
+// isAssignTarget reports whether id appears as a plain LHS ident of an
+// assignment within root (such an occurrence is a write, not a read).
+func isAssignTarget(root ast.Node, id *ast.Ident) bool {
+	target := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok && as.Tok.String() == "=" {
+			for _, lhs := range as.Lhs {
+				if lhs == id {
+					target = true
+				}
+			}
+		}
+		if as, ok := n.(*ast.AssignStmt); ok && as.Tok.String() == ":=" {
+			for _, lhs := range as.Lhs {
+				if lhs == id {
+					target = true
+				}
+			}
+		}
+		return !target
+	})
+	return target
+}

@@ -1,0 +1,97 @@
+package analysis
+
+// Corpus tests for the flow-sensitive analyzers (lockorder, pooledref,
+// errflow) plus the suppression and unused-directive behavior built on
+// RunAllDetail.
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLockOrderFlagsBadCorpus(t *testing.T) {
+	u := loadCorpus(t, "lockorder/bad", "github.com/tanklab/infless/internal/gateway/lobad")
+	checkWants(t, u, []*Analyzer{LockOrderAnalyzer})
+}
+
+func TestLockOrderAcceptsGoodCorpus(t *testing.T) {
+	u := loadCorpus(t, "lockorder/good", "github.com/tanklab/infless/internal/gateway/logood")
+	checkWants(t, u, []*Analyzer{LockOrderAnalyzer})
+}
+
+// TestLockOrderSuppression: the justified inversion is silenced and
+// surfaces in the suppressed half; the stale directive is reported.
+func TestLockOrderSuppression(t *testing.T) {
+	u := loadCorpus(t, "lockorder/suppress", "github.com/tanklab/infless/internal/gateway/losupp")
+	active, suppressed := RunAllDetail(u, []*Analyzer{LockOrderAnalyzer})
+	if len(active) != 1 {
+		t.Fatalf("want exactly the stale-directive diagnostic, got %v", active)
+	}
+	if active[0].Analyzer != "directive" || !strings.Contains(active[0].Message, "suppresses nothing") {
+		t.Errorf("expected unused-directive diagnostic, got %s", active[0])
+	}
+	if len(suppressed) != 1 || suppressed[0].Analyzer != "lockorder" {
+		t.Fatalf("want one suppressed lockorder finding, got %v", suppressed)
+	}
+}
+
+func TestPooledRefFlagsBadCorpus(t *testing.T) {
+	u := loadCorpus(t, "pooledref/bad", "github.com/tanklab/infless/internal/sim/prbad")
+	checkWants(t, u, []*Analyzer{PooledRefAnalyzer})
+}
+
+func TestPooledRefAcceptsGoodCorpus(t *testing.T) {
+	u := loadCorpus(t, "pooledref/good", "github.com/tanklab/infless/internal/sim/prgood")
+	checkWants(t, u, []*Analyzer{PooledRefAnalyzer})
+}
+
+func TestPooledRefSuppression(t *testing.T) {
+	u := loadCorpus(t, "pooledref/suppress", "github.com/tanklab/infless/internal/sim/prsupp")
+	active, suppressed := RunAllDetail(u, []*Analyzer{PooledRefAnalyzer})
+	if len(active) != 0 {
+		t.Fatalf("want no active diagnostics, got %v", active)
+	}
+	if len(suppressed) != 1 || suppressed[0].Analyzer != "pooledref" {
+		t.Fatalf("want one suppressed pooledref finding, got %v", suppressed)
+	}
+}
+
+func TestErrFlowFlagsBadCorpus(t *testing.T) {
+	u := loadCorpus(t, "errflow/bad", "github.com/tanklab/infless/internal/gateway/efbad")
+	checkWants(t, u, []*Analyzer{ErrFlowAnalyzer})
+}
+
+func TestErrFlowAcceptsGoodCorpus(t *testing.T) {
+	u := loadCorpus(t, "errflow/good", "github.com/tanklab/infless/internal/gateway/efgood")
+	checkWants(t, u, []*Analyzer{ErrFlowAnalyzer})
+}
+
+func TestErrFlowIgnoresOutOfScopePackages(t *testing.T) {
+	// The same error-dropping corpus under a data-plane path (the sim's
+	// error handling has its own conventions) yields nothing.
+	u := loadCorpus(t, "errflow/bad", "github.com/tanklab/infless/internal/sim/efbad")
+	if diags := RunAll(u, []*Analyzer{ErrFlowAnalyzer}); len(diags) != 0 {
+		t.Fatalf("expected no diagnostics out of scope, got %v", diags)
+	}
+}
+
+func TestErrFlowSuppression(t *testing.T) {
+	u := loadCorpus(t, "errflow/suppress", "github.com/tanklab/infless/internal/gateway/efsupp")
+	active, suppressed := RunAllDetail(u, []*Analyzer{ErrFlowAnalyzer})
+	if len(active) != 0 {
+		t.Fatalf("want no active diagnostics, got %v", active)
+	}
+	if len(suppressed) != 1 || suppressed[0].Analyzer != "errflow" {
+		t.Fatalf("want one suppressed errflow finding, got %v", suppressed)
+	}
+}
+
+// TestUnusedDirectiveOutsideRunSet: a directive naming an analyzer that
+// is not part of the run is left alone, so partial runs stay quiet.
+func TestUnusedDirectiveOutsideRunSet(t *testing.T) {
+	u := loadCorpus(t, "lockorder/suppress", "github.com/tanklab/infless/internal/gateway/losupp2")
+	active, _ := RunAllDetail(u, []*Analyzer{ErrFlowAnalyzer})
+	if len(active) != 0 {
+		t.Fatalf("directives naming un-run analyzers must not be reported, got %v", active)
+	}
+}

@@ -1,0 +1,448 @@
+package analysis
+
+// pooledref enforces the simclock pooling contract (see
+// internal/simclock/simclock.go): Event objects are recycled into a
+// free list once they fire or a cancelled tombstone drains, so a stored
+// *simclock.Event reference is only valid until its callback runs.
+// Holders that keep events in struct fields (the engine's timeoutEv /
+// reclaimEv / prewarmEv bookkeeping) must drop the reference when the
+// callback fires and clear it at every Cancel site — otherwise a later
+// Cancel through the stale pointer cancels an unrelated, recycled
+// event. That bug class is invisible to tests (it needs pool reuse to
+// line up) and to per-statement matching; it is exactly a dataflow
+// property:
+//
+//   - a ScheduleAt/ScheduleAfter result stored into an Event-typed
+//     struct field must have a callback that re-assigns that field
+//     (normally to nil) on EVERY path to the callback's exit
+//     (must-analysis, intersection join);
+//   - after `x.f.Cancel()` on an Event-typed field, SOME path reaching
+//     function exit without re-assigning x.f is reported
+//     (may-analysis, union join);
+//   - a schedule result stored into a slice/map-of-Event struct field
+//     is flagged unless the callback mutates that container (the
+//     scalar-field idiom is checkable; long-lived containers mostly are
+//     not, so the analyzer demands visible clearing or a suppression).
+//
+// Approximations, by design: only direct `field = clock.ScheduleX(...)`
+// stores with a function-literal callback are checked (a named callback
+// or a store via a local cannot be matched to its niling site
+// statically); clearing through a helper function is not seen —
+// suppress with //lint:ignore pooledref when a helper owns the clear.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// PooledRefAnalyzer implements the pooledref check.
+var PooledRefAnalyzer = &Analyzer{
+	Name: "pooledref",
+	Doc:  "stored *simclock.Event references must be dropped when the callback fires and cleared at Cancel sites",
+	Run:  runPooledRef,
+}
+
+func runPooledRef(u *Unit) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range u.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				diags = append(diags, sweepPooledRef(u, pkg, fd.Body)...)
+			}
+		}
+	}
+	return diags
+}
+
+// sweepPooledRef checks one body (and, recursively, its function
+// literals — each a separate flow root).
+func sweepPooledRef(u *Unit, pkg *Package, body *ast.BlockStmt) []Diagnostic {
+	cfg := BuildCFG(body)
+	var diags []Diagnostic
+	diags = append(diags, checkEventStores(u, pkg, cfg)...)
+	diags = append(diags, checkCancelSites(u, pkg, cfg)...)
+	for _, lit := range cfg.FuncLits {
+		diags = append(diags, sweepPooledRef(u, pkg, lit.Body)...)
+	}
+	return diags
+}
+
+// checkEventStores finds `x.f = clock.ScheduleX(..., func(){...})`
+// stores into Event-typed fields and verifies the callback clears the
+// field on every path.
+func checkEventStores(u *Unit, pkg *Package, cfg *CFG) []Diagnostic {
+	var diags []Diagnostic
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			forEachAssign(n, func(as *ast.AssignStmt) {
+				if len(as.Lhs) != len(as.Rhs) {
+					return
+				}
+				for i, rhs := range as.Rhs {
+					call, ok := rhs.(*ast.CallExpr)
+					if !ok || !isScheduleCall(pkg.Info, call) {
+						continue
+					}
+					lit := callbackLit(call)
+					// Scalar Event field store.
+					if sel, ok := as.Lhs[i].(*ast.SelectorExpr); ok {
+						if field, base, ok := eventField(pkg, sel); ok {
+							if lit == nil {
+								continue // named callback: not statically matchable
+							}
+							if !callbackClearsField(pkg, lit, field) {
+								diags = append(diags, Diagnostic{
+									Analyzer: "pooledref",
+									Pos:      u.Fset.Position(as.Pos()),
+									Message: "callback of the event stored in " + base + "." + field.Name() +
+										" does not clear the stored reference on every path; pooled events are recycled after firing — assign " +
+										base + "." + field.Name() + " = nil in the callback",
+								})
+							}
+							continue
+						}
+					}
+					// Container store: x.f[k] = ScheduleX(...).
+					if idx, ok := as.Lhs[i].(*ast.IndexExpr); ok {
+						diags = append(diags, checkContainerStore(u, pkg, as, idx.X, lit)...)
+					}
+				}
+				// append form: x.f = append(x.f, ScheduleX(...)).
+				for i, rhs := range as.Rhs {
+					call, ok := rhs.(*ast.CallExpr)
+					if !ok || !isBuiltinAppend(pkg.Info, call) || len(call.Args) < 2 {
+						continue
+					}
+					for _, arg := range call.Args[1:] {
+						inner, ok := arg.(*ast.CallExpr)
+						if !ok || !isScheduleCall(pkg.Info, inner) {
+							continue
+						}
+						diags = append(diags, checkContainerStore(u, pkg, as, as.Lhs[i], callbackLit(inner))...)
+					}
+				}
+			})
+		}
+	}
+	return diags
+}
+
+// checkContainerStore flags schedule results retained in slice/map
+// struct fields unless the callback visibly mutates the container.
+func checkContainerStore(u *Unit, pkg *Package, at ast.Node, container ast.Expr, lit *ast.FuncLit) []Diagnostic {
+	sel, ok := container.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	field, base, ok := eventContainerField(pkg, sel)
+	if !ok {
+		return nil
+	}
+	if lit != nil && mutatesContainer(pkg, lit, field) {
+		return nil
+	}
+	return []Diagnostic{{
+		Analyzer: "pooledref",
+		Pos:      u.Fset.Position(at.Pos()),
+		Message: "*simclock.Event stored into long-lived container " + base + "." + field.Name() +
+			" with no clearing in the callback; recycled events make stale container entries cancel unrelated work — " +
+			"remove the entry when the callback fires or use a scalar field",
+	}}
+}
+
+// cancelKey identifies one outstanding Cancel: the Event field and the
+// textual base path it was cancelled through.
+type cancelKey struct {
+	field types.Object
+	base  string
+}
+
+type cancelSet map[cancelKey]token.Pos
+
+func cancelJoin(a, b cancelSet) cancelSet {
+	if len(a) == 0 {
+		return b
+	}
+	out := make(cancelSet, len(a)+len(b))
+	for k, v := range a {
+		out[k] = v
+	}
+	for k, v := range b {
+		if _, ok := out[k]; !ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func cancelEqual(a, b cancelSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// checkCancelSites reports Cancel calls on Event fields that can reach
+// function exit without the field being re-assigned.
+func checkCancelSites(u *Unit, pkg *Package, cfg *CFG) []Diagnostic {
+	fx := Facts[cancelSet]{
+		Join:  cancelJoin,
+		Equal: cancelEqual,
+		Transfer: func(f cancelSet, n ast.Node) cancelSet {
+			// Assignments clear before new cancels arm: a statement
+			// mixing both (none exists in practice) errs on reporting.
+			clears := fieldAssignKeys(pkg, n)
+			cancels := cancelCalls(pkg, n)
+			if len(clears) == 0 && len(cancels) == 0 {
+				return f
+			}
+			out := make(cancelSet, len(f)+len(cancels))
+			for k, v := range f {
+				out[k] = v
+			}
+			for _, k := range clears {
+				delete(out, k)
+			}
+			for k, pos := range cancels {
+				if _, ok := out[k]; !ok {
+					out[k] = pos
+				}
+			}
+			return out
+		},
+	}
+	ins := Forward(cfg, cancelSet{}, fx)
+	exit, ok := ExitFact(cfg, ins)
+	if !ok {
+		return nil
+	}
+	var diags []Diagnostic
+	for k, pos := range exit {
+		diags = append(diags, Diagnostic{
+			Analyzer: "pooledref",
+			Pos:      u.Fset.Position(pos),
+			Message: k.base + "." + k.field.Name() + ".Cancel() can reach function exit without clearing " +
+				k.base + "." + k.field.Name() + "; a cancelled pooled event is recycled once drained — assign nil at the Cancel site",
+		})
+	}
+	return diags
+}
+
+// cancelCalls returns the Event-field Cancel sites inside node n.
+func cancelCalls(pkg *Package, n ast.Node) map[cancelKey]token.Pos {
+	var out map[cancelKey]token.Pos
+	forEachCall(n, func(call *ast.CallExpr) {
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Cancel" {
+			return
+		}
+		fieldSel, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		field, base, ok := eventField(pkg, fieldSel)
+		if !ok {
+			return
+		}
+		if out == nil {
+			out = map[cancelKey]token.Pos{}
+		}
+		out[cancelKey{field, base}] = call.Pos()
+	})
+	return out
+}
+
+// fieldAssignKeys returns the Event fields (with base paths) assigned
+// in node n — nil stores, re-schedules, anything that replaces the
+// stale reference.
+func fieldAssignKeys(pkg *Package, n ast.Node) []cancelKey {
+	var keys []cancelKey
+	forEachAssign(n, func(as *ast.AssignStmt) {
+		for _, lhs := range as.Lhs {
+			if sel, ok := lhs.(*ast.SelectorExpr); ok {
+				if field, base, ok := eventField(pkg, sel); ok {
+					keys = append(keys, cancelKey{field, base})
+				}
+			}
+		}
+	})
+	return keys
+}
+
+// callbackClearsField reports whether every path through the callback
+// assigns the field (must-analysis over the callback's own CFG).
+func callbackClearsField(pkg *Package, lit *ast.FuncLit, field types.Object) bool {
+	cfg := BuildCFG(lit.Body)
+	fx := Facts[bool]{
+		Join:  func(a, b bool) bool { return a && b },
+		Equal: func(a, b bool) bool { return a == b },
+		Transfer: func(f bool, n ast.Node) bool {
+			if f {
+				return true
+			}
+			return assignsField(pkg, n, field)
+		},
+	}
+	ins := Forward(cfg, false, fx)
+	cleared, reachable := ExitFact(cfg, ins)
+	if !reachable {
+		return true // callback never returns; nothing to recycle after
+	}
+	return cleared
+}
+
+// assignsField reports whether node n assigns the given Event field
+// (any base: the callback may capture the holder under another name).
+func assignsField(pkg *Package, n ast.Node, field types.Object) bool {
+	found := false
+	forEachAssign(n, func(as *ast.AssignStmt) {
+		for _, lhs := range as.Lhs {
+			if sel, ok := lhs.(*ast.SelectorExpr); ok {
+				if s, ok := pkg.Info.Selections[sel]; ok && s.Obj() == field {
+					found = true
+				}
+			}
+		}
+	})
+	return found
+}
+
+// mutatesContainer reports whether the callback assigns into, deletes
+// from, or re-slices the container field.
+func mutatesContainer(pkg *Package, lit *ast.FuncLit, field types.Object) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if touchesField(pkg, lhs, field) {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "delete" && len(n.Args) > 0 {
+				if touchesField(pkg, n.Args[0], field) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// touchesField reports whether expr is (or indexes into) the field.
+func touchesField(pkg *Package, expr ast.Expr, field types.Object) bool {
+	for {
+		switch e := expr.(type) {
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			s, ok := pkg.Info.Selections[e]
+			return ok && s.Obj() == field
+		default:
+			return false
+		}
+	}
+}
+
+// forEachAssign visits the assignment statements in a node, not
+// descending into function literals.
+func forEachAssign(n ast.Node, visit func(*ast.AssignStmt)) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		if as, ok := m.(*ast.AssignStmt); ok {
+			visit(as)
+		}
+		return true
+	})
+}
+
+// eventField resolves sel to a struct field of type *simclock.Event.
+func eventField(pkg *Package, sel *ast.SelectorExpr) (types.Object, string, bool) {
+	s, ok := pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil, "", false
+	}
+	if !isEventPtr(s.Obj().Type()) {
+		return nil, "", false
+	}
+	return s.Obj(), types.ExprString(sel.X), true
+}
+
+// eventContainerField resolves sel to a struct field holding a slice or
+// map of *simclock.Event.
+func eventContainerField(pkg *Package, sel *ast.SelectorExpr) (types.Object, string, bool) {
+	s, ok := pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil, "", false
+	}
+	switch t := s.Obj().Type().Underlying().(type) {
+	case *types.Slice:
+		if isEventPtr(t.Elem()) {
+			return s.Obj(), types.ExprString(sel.X), true
+		}
+	case *types.Map:
+		if isEventPtr(t.Elem()) {
+			return s.Obj(), types.ExprString(sel.X), true
+		}
+	}
+	return nil, "", false
+}
+
+// isEventPtr reports whether t is *simclock.Event.
+func isEventPtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := p.Elem().(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Name() == "Event" && strings.HasSuffix(n.Obj().Pkg().Path(), "internal/simclock")
+}
+
+// isScheduleCall reports whether call is Clock.ScheduleAt or
+// Clock.ScheduleAfter from internal/simclock.
+func isScheduleCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := funcOf(info, call)
+	if fn == nil {
+		return false
+	}
+	if fn.Name() != "ScheduleAt" && fn.Name() != "ScheduleAfter" {
+		return false
+	}
+	named := recvNamed(fn)
+	if named == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "Clock" && strings.HasSuffix(named.Obj().Pkg().Path(), "internal/simclock")
+}
+
+// callbackLit returns the function-literal callback argument of a
+// schedule call, or nil.
+func callbackLit(call *ast.CallExpr) *ast.FuncLit {
+	for _, arg := range call.Args {
+		if lit, ok := arg.(*ast.FuncLit); ok {
+			return lit
+		}
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+// Package efbad drops errors: bare call statements that discard an
+// error result, and error variables overwritten before any path reads
+// them.
+package efbad
+
+import "errors"
+
+func work() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, errors.New("boom") }
+
+// discard drops the error at the call.
+func discard() {
+	work() // want "error result of efbad\.work is discarded"
+}
+
+// discardPair drops both results, the error among them.
+func discardPair() {
+	pair() // want "error result of efbad\.pair is discarded"
+}
+
+// overwritten kills the first error before anything reads it.
+func overwritten() error {
+	err := work() // want "error assigned to err is never read on any path"
+	err = work()
+	return err
+}
+
+// pairClobber does the same through a multi-assign.
+func pairClobber() error {
+	_, err := pair() // want "error assigned to err is never read on any path"
+	_, err = pair()
+	return err
+}
+
+// killedInBothBranches re-assigns on every branch: no path reads the
+// first value.
+func killedInBothBranches(flip bool) error {
+	err := work() // want "error assigned to err is never read on any path"
+	if flip {
+		err = work()
+	} else {
+		err = work()
+	}
+	return err
+}

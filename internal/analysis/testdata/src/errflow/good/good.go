@@ -1,0 +1,92 @@
+// Package efgood handles or deliberately discards every error: checked
+// returns, explicit _ assigns, the conventional fmt/Builder exemptions,
+// deferred closes, closure captures, named results read by bare
+// returns, and loop re-assignments whose zero-iteration path still
+// reads the original value.
+package efgood
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func work() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, errors.New("boom") }
+
+type conn struct{}
+
+func (c *conn) Close() error { return nil }
+
+// checked reads the error on the spot.
+func checked() error {
+	if err := work(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// explicit discards with _, the sanctioned spelling.
+func explicit() {
+	_ = work()
+}
+
+// prints uses the conventionally-ignored writers.
+func prints(sb *strings.Builder) {
+	fmt.Println("status")
+	sb.WriteString("status")
+}
+
+// deferred cannot bind the result; the idiom is exempt.
+func deferred(c *conn) error {
+	defer c.Close()
+	return work()
+}
+
+// captured errors escape to a closure; their reads are beyond this
+// function's flow.
+func captured() func() error {
+	err := work()
+	return func() error { return err }
+}
+
+// named results are read by the bare return.
+func named() (err error) {
+	err = work()
+	return
+}
+
+// condOverwrite keeps the first value live on the not-taken branch.
+func condOverwrite(flip bool) error {
+	err := work()
+	if flip {
+		err = work()
+	}
+	return err
+}
+
+// loopClobber's zero-iteration path reads the original assignment.
+func loopClobber(n int) error {
+	err := work()
+	for i := 0; i < n; i++ {
+		err = work()
+	}
+	return err
+}
+
+// wrapped reads the old value on the same statement that redefines it.
+func wrapped() error {
+	err := work()
+	err = fmt.Errorf("wrap: %w", err)
+	return err
+}
+
+// multiUse reads the error through the pair's value path.
+func multiUse() int {
+	n, err := pair()
+	if err != nil {
+		return -1
+	}
+	return n
+}

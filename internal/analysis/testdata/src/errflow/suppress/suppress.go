@@ -1,0 +1,12 @@
+// Package efsupp documents one deliberate fire-and-forget call under a
+// justified directive.
+package efsupp
+
+import "errors"
+
+func notify() error { return errors.New("unreachable peer") }
+
+func fireAndForget() {
+	//lint:ignore errflow best-effort notification; the peer retries and failures are logged downstream
+	notify()
+}

@@ -1,0 +1,87 @@
+// Package lobad seeds lock-order violations: a two-lock inversion
+// against a dominant order, a reentrant acquisition through a call, and
+// a three-lock cycle spread across functions.
+package lobad
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+type pair struct {
+	a A
+	b B
+}
+
+// forward1 and forward2 establish the dominant order a.mu -> b.mu.
+func (p *pair) forward1() {
+	p.a.mu.Lock()
+	p.b.mu.Lock()
+	p.b.mu.Unlock()
+	p.a.mu.Unlock()
+}
+
+func (p *pair) forward2() {
+	p.a.mu.Lock()
+	defer p.a.mu.Unlock()
+	p.b.mu.Lock()
+	defer p.b.mu.Unlock()
+}
+
+// inverted takes the locks in the minority direction.
+func (p *pair) inverted() {
+	p.b.mu.Lock()
+	p.a.mu.Lock() // want "lock order inversion: lobad\.A\.mu acquired while lobad\.B\.mu is held; the dominant order is lobad\.A\.mu before lobad\.B\.mu \(2 site\(s\)\)"
+	p.a.mu.Unlock()
+	p.b.mu.Unlock()
+}
+
+// S exercises reentrancy through a statically resolved call.
+type S struct{ mu sync.Mutex }
+
+func (s *S) helper() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+}
+
+func (s *S) outer() {
+	s.mu.Lock()
+	s.helper() // want "lobad\.S\.mu acquired while already held \(via call to \(\*lobad\.S\)\.helper\); sync mutexes are not reentrant"
+	s.mu.Unlock()
+}
+
+// L1/L2/L3 form a three-lock cycle, one edge per function; every edge
+// closes the cycle.
+type L1 struct{ mu sync.Mutex }
+
+type L2 struct{ mu sync.Mutex }
+
+type L3 struct{ mu sync.Mutex }
+
+type trio struct {
+	x L1
+	y L2
+	z L3
+}
+
+func (t *trio) xy() {
+	t.x.mu.Lock()
+	t.y.mu.Lock() // want "lock order inversion: lobad\.L2\.mu acquired while lobad\.L1\.mu is held; this edge closes a lock-order cycle"
+	t.y.mu.Unlock()
+	t.x.mu.Unlock()
+}
+
+func (t *trio) yz() {
+	t.y.mu.Lock()
+	t.z.mu.Lock() // want "lock order inversion: lobad\.L3\.mu acquired while lobad\.L2\.mu is held; this edge closes a lock-order cycle"
+	t.z.mu.Unlock()
+	t.y.mu.Unlock()
+}
+
+func (t *trio) zx() {
+	t.z.mu.Lock()
+	t.x.mu.Lock() // want "lock order inversion: lobad\.L1\.mu acquired while lobad\.L3\.mu is held; this edge closes a lock-order cycle"
+	t.x.mu.Unlock()
+	t.z.mu.Unlock()
+}

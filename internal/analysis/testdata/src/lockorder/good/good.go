@@ -1,0 +1,76 @@
+// Package logood holds locking shapes that must stay clean: a globally
+// consistent two-lock order across explicit and deferred unlocks, loops
+// that release before re-acquiring, read locks, and closures that start
+// from an empty held set.
+package logood
+
+import "sync"
+
+type inner struct{ mu sync.Mutex }
+
+type outer struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	in   inner
+	work []func()
+}
+
+// nested always takes outer.mu before inner.mu.
+func (o *outer) nested() {
+	o.mu.Lock()
+	o.in.mu.Lock()
+	o.in.mu.Unlock()
+	o.mu.Unlock()
+}
+
+// nestedDeferred holds the same order through deferred unlocks.
+func (o *outer) nestedDeferred() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.in.mu.Lock()
+	defer o.in.mu.Unlock()
+}
+
+// loop releases before the back edge, so no lock is held at the next
+// acquisition.
+func (o *outer) loop(n int) {
+	for i := 0; i < n; i++ {
+		o.mu.Lock()
+		o.work = nil
+		o.mu.Unlock()
+	}
+	o.in.mu.Lock()
+	o.in.mu.Unlock()
+}
+
+// branchy unlocks on both the early-return and fallthrough paths.
+func (o *outer) branchy(quit bool) {
+	o.mu.Lock()
+	if quit {
+		o.mu.Unlock()
+		return
+	}
+	o.in.mu.Lock()
+	o.in.mu.Unlock()
+	o.mu.Unlock()
+}
+
+// readers mixes RLock with the same consistent order.
+func (o *outer) readers() {
+	o.rw.RLock()
+	o.in.mu.Lock()
+	o.in.mu.Unlock()
+	o.rw.RUnlock()
+}
+
+// spawn runs a closure later: it is a separate root with an empty held
+// set, so its acquisition of inner.mu while spawn holds outer.mu is not
+// an edge.
+func (o *outer) spawn() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.work = append(o.work, func() {
+		o.in.mu.Lock()
+		defer o.in.mu.Unlock()
+	})
+}

@@ -1,0 +1,46 @@
+// Package losupp carries one deliberate lock-order inversion under a
+// justified //lint:ignore directive, plus a stale directive that
+// suppresses nothing and must itself be reported.
+package losupp
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+type pair struct {
+	a A
+	b B
+}
+
+func (p *pair) forward1() {
+	p.a.mu.Lock()
+	p.b.mu.Lock()
+	p.b.mu.Unlock()
+	p.a.mu.Unlock()
+}
+
+func (p *pair) forward2() {
+	p.a.mu.Lock()
+	defer p.a.mu.Unlock()
+	p.b.mu.Lock()
+	defer p.b.mu.Unlock()
+}
+
+// inverted is the shutdown path: it quiesces b before draining a, and
+// runs strictly after all forward paths have stopped.
+func (p *pair) inverted() {
+	p.b.mu.Lock()
+	//lint:ignore lockorder shutdown-only path; forward lockers are quiesced before it runs
+	p.a.mu.Lock()
+	p.a.mu.Unlock()
+	p.b.mu.Unlock()
+}
+
+// clean has nothing to suppress: its directive is stale.
+func (p *pair) clean() {
+	//lint:ignore lockorder stale directive kept for the unused-directive test
+	p.a.mu.Lock()
+	p.a.mu.Unlock()
+}

@@ -1,0 +1,54 @@
+// Package prbad violates the simclock pooling contract: callbacks that
+// keep the stored *Event reference alive after firing, Cancel sites
+// that leave the stale pointer behind, and a long-lived container the
+// callback never cleans.
+package prbad
+
+import "github.com/tanklab/infless/internal/simclock"
+
+type holder struct {
+	clock *simclock.Clock
+	ev    *simclock.Event
+	tab   map[string]*simclock.Event
+}
+
+func (h *holder) tick() {}
+
+// noClear never drops the stored reference in the callback.
+func (h *holder) noClear(at simclock.Time) {
+	h.ev = h.clock.ScheduleAt(at, func() { // want "does not clear the stored reference on every path"
+		h.tick()
+	})
+}
+
+// halfClear clears on one branch only; the other leaks the reference.
+func (h *holder) halfClear(at simclock.Time, flip bool) {
+	h.ev = h.clock.ScheduleAt(at, func() { // want "does not clear the stored reference on every path"
+		if flip {
+			h.ev = nil
+		}
+		h.tick()
+	})
+}
+
+// cancelNoClear cancels without dropping the stale pointer.
+func (h *holder) cancelNoClear() {
+	if h.ev != nil {
+		h.ev.Cancel() // want "can reach function exit without clearing"
+	}
+}
+
+// cancelBranchy clears on only one of the paths after the Cancel.
+func (h *holder) cancelBranchy(flip bool) {
+	h.ev.Cancel() // want "can reach function exit without clearing"
+	if flip {
+		h.ev = nil
+	}
+}
+
+// container parks events in a map the callback never cleans.
+func (h *holder) container(name string, at simclock.Time) {
+	h.tab[name] = h.clock.ScheduleAt(at, func() { // want "long-lived container"
+		h.tick()
+	})
+}

@@ -1,0 +1,67 @@
+// Package prgood follows the simclock pooling contract: every callback
+// drops the stored reference on every path, every Cancel clears or
+// re-arms the field, and container entries are removed when they fire.
+package prgood
+
+import "github.com/tanklab/infless/internal/simclock"
+
+type keeper struct {
+	clock *simclock.Clock
+	ev    *simclock.Event
+	tab   map[string]*simclock.Event
+}
+
+func (k *keeper) fire() {}
+
+// arm clears the reference first thing in the callback.
+func (k *keeper) arm(at simclock.Time) {
+	k.ev = k.clock.ScheduleAt(at, func() {
+		k.ev = nil
+		k.fire()
+	})
+}
+
+// armBranchy clears on both the early-return and fallthrough paths.
+func (k *keeper) armBranchy(at simclock.Time, flip bool) {
+	k.ev = k.clock.ScheduleAt(at, func() {
+		if flip {
+			k.ev = nil
+			k.fire()
+			return
+		}
+		k.ev = nil
+	})
+}
+
+// disarm pairs Cancel with an immediate nil store.
+func (k *keeper) disarm() {
+	if k.ev != nil {
+		k.ev.Cancel()
+		k.ev = nil
+	}
+}
+
+// rearm replaces the cancelled reference with the new event on every
+// path to exit.
+func (k *keeper) rearm(at simclock.Time) {
+	if k.ev != nil {
+		k.ev.Cancel()
+	}
+	k.ev = k.clock.ScheduleAt(at, func() {
+		k.ev = nil
+	})
+}
+
+// local references die with the scope; they are not tracked.
+func (k *keeper) local(at simclock.Time) {
+	ev := k.clock.ScheduleAt(at, func() {})
+	ev.Cancel()
+}
+
+// containerCleans removes its map entry when the callback fires.
+func (k *keeper) containerCleans(name string, at simclock.Time) {
+	k.tab[name] = k.clock.ScheduleAt(at, func() {
+		delete(k.tab, name)
+		k.fire()
+	})
+}

@@ -65,8 +65,7 @@ func (c *Client) Deploy(req DeployRequest) error {
 	if resp.StatusCode != http.StatusCreated {
 		return apiError(resp)
 	}
-	resp.Body.Close()
-	return nil
+	return resp.Body.Close()
 }
 
 // DeployTemplate registers every function of an INFless template.
@@ -118,8 +117,7 @@ func (c *Client) Delete(name string) error {
 	if resp.StatusCode != http.StatusNoContent {
 		return apiError(resp)
 	}
-	resp.Body.Close()
-	return nil
+	return resp.Body.Close()
 }
 
 // Invoke calls a function once and returns the invocation report.

@@ -6,7 +6,9 @@
 # analyzer suite (cmd/infless-lint) that replaced the old grep guards:
 # it keeps the lifecycle policies single-sourced, the deterministic
 # packages off the wall clock, placement on the free-capacity index,
-# and observer/telemetry callbacks outside mutex critical sections.
+# and observer/telemetry callbacks outside mutex critical sections, and
+# runs the flow-sensitive lockorder / pooledref / errflow analyzers
+# over the whole module.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -25,8 +27,8 @@ echo "== infless-lint"
 go run ./cmd/infless-lint ./...
 echo "== go test"
 go test ./...
-echo "== go test -race (gateway + runtime + telemetry)"
-go test -race ./internal/gateway/... ./internal/runtime/... ./internal/telemetry/...
+echo "== go test -race (gateway + runtime + telemetry + sim)"
+go test -race ./internal/gateway/... ./internal/runtime/... ./internal/telemetry/... ./internal/sim/...
 echo "== go test -race (parallel experiment runner)"
 go test -race -short -run 'TestRunStreamOrdered|TestParallelForCoversAllIndices|TestParallelAllDeterministic' ./internal/bench/
 
