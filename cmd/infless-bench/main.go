@@ -37,6 +37,7 @@ func main() {
 		format     = flag.String("format", "table", "output format: table | csv")
 		jsonOut    = flag.Bool("json", false, "print result tables as JSON (overrides -format)")
 		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for experiments and sweep points (1 = serial)")
+		shards     = flag.Int("shards", 1, "control-plane shard count for cluster-building experiments (tables are identical at any count)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -58,7 +59,7 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	opts := bench.Options{Quick: !*full, Seed: *seed, Parallel: *parallel}
+	opts := bench.Options{Quick: !*full, Seed: *seed, Parallel: *parallel, Shards: *shards}
 	emit := func(r bench.RunResult) {
 		table := r.Table
 		switch {

@@ -29,6 +29,7 @@ func main() {
 	var (
 		addr     = flag.String("addr", ":8080", "listen address")
 		servers  = flag.Int("servers", 8, "virtual cluster size")
+		shards   = flag.Int("shards", 1, "control-plane shard count (placement is identical at any count)")
 		speed    = flag.Float64("speed", 1, "wall-clock acceleration of emulated execution")
 		idle     = flag.Duration("idle", 60*time.Second, "instance idle reclaim timeout")
 		seed     = flag.Int64("seed", 1, "random seed for execution noise")
@@ -37,7 +38,7 @@ func main() {
 	flag.Parse()
 
 	cfg := gateway.Config{
-		Cluster:     cluster.New(cluster.Options{Servers: *servers}),
+		Cluster:     cluster.New(cluster.Options{Servers: *servers, Shards: *shards}),
 		SpeedFactor: *speed,
 		IdleTimeout: *idle,
 		Seed:        *seed,

@@ -30,6 +30,7 @@ func main() {
 		pattern  = flag.String("pattern", "constant", "traffic: constant | sporadic | periodic | bursty")
 		duration = flag.Duration("duration", 10*time.Minute, "simulated duration")
 		servers  = flag.Int("servers", 8, "cluster size")
+		shards   = flag.Int("shards", 1, "control-plane shard count (decisions are identical at any count)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		template = flag.String("template", "", "deploy functions from an INFless template file")
 		models   = flag.Bool("models", false, "list the model zoo and exit")
@@ -48,6 +49,7 @@ func main() {
 	opts := infless.Options{
 		System:  infless.System(*system),
 		Servers: *servers,
+		Shards:  *shards,
 		Seed:    *seed,
 	}
 	var traceFile *os.File

@@ -56,6 +56,10 @@ type Options struct {
 	System System
 	// Servers is the cluster size (default 8 — the paper's testbed).
 	Servers int
+	// Shards partitions the cluster's control plane into contiguous
+	// ID ranges (default 1). Placement decisions are identical at any
+	// shard count; sharding only changes query cost at scale.
+	Shards int
 	// Seed makes runs reproducible (default 1).
 	Seed int64
 	// Ablation switches (INFless only; Figure 11):
@@ -183,7 +187,7 @@ func (p *Platform) Run(duration time.Duration) (*Report, error) {
 	}
 	p.ran = true
 	e := sim.New(p.engineCtrl, sim.Config{
-		Cluster:   cluster.New(cluster.Options{Servers: p.opts.Servers}),
+		Cluster:   cluster.New(cluster.Options{Servers: p.opts.Servers, Shards: p.opts.Shards}),
 		Seed:      p.opts.Seed,
 		Duration:  duration,
 		Collector: p.col,

@@ -44,6 +44,44 @@ func TestPlatformQuickstart(t *testing.T) {
 	}
 }
 
+// TestPlatformShardsTransparent pins the facade-level determinism
+// contract of Options.Shards: a sharded control plane must reproduce
+// the unsharded run exactly, and a negative count must be rejected.
+func TestPlatformShardsTransparent(t *testing.T) {
+	if _, err := infless.NewPlatform(infless.Options{Shards: -1}); err == nil {
+		t.Fatal("negative shard count accepted")
+	}
+	run := func(shards int) *infless.Report {
+		p, err := infless.NewPlatform(infless.Options{Servers: 16, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = p.Deploy(infless.FunctionConfig{
+			Name:    "classify",
+			Model:   "ResNet-50",
+			SLO:     200 * time.Millisecond,
+			Traffic: infless.Traffic{RPS: 120},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := p.Run(time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	flat, sharded := run(0), run(4)
+	if flat.Served != sharded.Served || flat.Dropped != sharded.Dropped {
+		t.Fatalf("sharded run diverged: served %d/%d dropped %d/%d",
+			sharded.Served, flat.Served, sharded.Dropped, flat.Dropped)
+	}
+	if flat.SLOViolationRate != sharded.SLOViolationRate {
+		t.Fatalf("violation rate diverged: %v vs %v",
+			sharded.SLOViolationRate, flat.SLOViolationRate)
+	}
+}
+
 func TestPlatformAllSystems(t *testing.T) {
 	for _, sys := range []infless.System{infless.SystemINFless, infless.SystemBATCH, infless.SystemOpenFaaSPlus} {
 		p, err := infless.NewPlatform(infless.Options{System: sys})

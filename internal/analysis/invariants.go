@@ -78,7 +78,17 @@ var SingleDefs = []SingleDef{
 	{KindType, "", "freeIndex", "internal/cluster/index.go",
 		"placement queries go through the one free-capacity index"},
 	{KindMethod, "Cluster", "BestFit", "internal/cluster/cluster.go",
-		"best-fit placement has one implementation, backed by the index"},
+		"best-fit placement has one implementation, backed by the shard indexes"},
+	{KindType, "", "shard", "internal/cluster/shard.go",
+		"the partitioned resource view is defined once, next to its merge rule"},
+	{KindMethod, "Cluster", "BestFitShards", "internal/cluster/shard.go",
+		"the deterministic shard merge (least key, lowest id on ties) has one implementation"},
+	{KindType, "", "FitPool", "internal/cluster/fanout.go",
+		"the parallel shard fan-out and its chunk merge live with the shard layout"},
+	{KindType, "", "RateStripes", "internal/runtime/rates.go",
+		"one striped rate map serves the simulator and the gateway"},
+	{KindType, "", "planeRing", "internal/runtime/rates.go",
+		"the lock-free plane-wide arrival aggregate has one implementation"},
 }
 
 // ForbiddenDecls is the production forbidden-declaration table.
@@ -89,4 +99,12 @@ var ForbiddenDecls = []ForbiddenDecl{
 		"lifecycle policy helpers live in internal/runtime only"},
 	{KindType, "instancePool", "internal/runtime",
 		"lifecycle policy helpers live in internal/runtime only"},
+	{KindType, "shard", "internal/cluster",
+		"cluster sharding is the cluster package's concern; other layers see merged views"},
+	{KindType, "fitPool", "internal/cluster",
+		"shard fan-out pools live next to the merge they depend on"},
+	{KindType, "rateStripe", "internal/runtime",
+		"rate striping is internal/runtime's concern; planes hold a RateStripes"},
+	{KindType, "planeRing", "internal/runtime",
+		"plane-wide rate aggregation has one lock-free implementation"},
 }

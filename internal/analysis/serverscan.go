@@ -1,11 +1,13 @@
 package analysis
 
-// serverscan forbids calls to Cluster.Servers() from the scheduler.
+// serverscan forbids per-server iteration of the cluster — both
+// Cluster.Servers() (now a snapshot copy, since the shard refactor ended
+// the borrowed-slice leak) and Cluster.EachServer — from the scheduler.
 // PR 3 replaced scheduleOne's linear scan over the server list with the
-// cluster's free-capacity index (BestFit/FirstFit) — a 123x win on the
-// 2,000-server cluster — and the only way to regress it is to reach for
-// the full server slice again. Reads of the slice elsewhere (reporting,
-// benchmarks, baselines) are legitimate.
+// cluster's free-capacity index (BestFit/FirstFit, today sharded) — a
+// 123x win on the 2,000-server cluster — and the only way to regress it
+// is to reach for full-inventory iteration again. Reads elsewhere
+// (reporting, benchmarks, baselines) are legitimate.
 
 import (
 	"go/ast"
@@ -18,7 +20,7 @@ var serverScanScopes = []string{"internal/scheduler"}
 // ServerScanAnalyzer implements the serverscan check.
 var ServerScanAnalyzer = &Analyzer{
 	Name: "serverscan",
-	Doc:  "forbid Cluster.Servers() scans in the scheduler; use BestFit/FirstFit",
+	Doc:  "forbid Cluster.Servers()/EachServer scans in the scheduler; use BestFit/FirstFit",
 	Run:  runServerScan,
 }
 
@@ -35,7 +37,7 @@ func runServerScan(u *Unit) []Diagnostic {
 					return true
 				}
 				fn := funcOf(pkg.Info, call)
-				if fn == nil || fn.Name() != "Servers" {
+				if fn == nil || (fn.Name() != "Servers" && fn.Name() != "EachServer") {
 					return true
 				}
 				named := recvNamed(fn)
@@ -46,8 +48,8 @@ func runServerScan(u *Unit) []Diagnostic {
 				diags = append(diags, Diagnostic{
 					Analyzer: "serverscan",
 					Pos:      u.Fset.Position(call.Pos()),
-					Message: "Cluster.Servers() scan in the scheduler; placement must go through " +
-						"cluster.BestFit/FirstFit (the free-capacity index)",
+					Message: "Cluster." + fn.Name() + "() scan in the scheduler; placement must go " +
+						"through cluster.BestFit/FirstFit (the sharded free-capacity indexes)",
 				})
 				return true
 			})

@@ -13,3 +13,16 @@ func Scan(cl *cluster.Cluster) int {
 	}
 	return n
 }
+
+// Visit iterates via the callback accessor: same full-inventory scan,
+// same regression.
+func Visit(cl *cluster.Cluster) int {
+	n := 0
+	cl.EachServer(func(s *cluster.Server) bool { // want "Cluster\.EachServer\(\) scan in the scheduler"
+		if !s.Down() {
+			n++
+		}
+		return true
+	})
+	return n
+}

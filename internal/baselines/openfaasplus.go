@@ -35,12 +35,15 @@ func defaultPredictor() scheduler.Predictor {
 // firstFit returns the lowest-numbered server that can host the
 // allocation.
 func firstFit(cl *cluster.Cluster, res perf.Resources, memMB int) (int, bool) {
-	for _, s := range cl.Servers() {
+	id := -1
+	cl.EachServer(func(s *cluster.Server) bool {
 		if !s.Down() && s.Free.Fits(res) && s.MemFreeMB >= memMB {
-			return s.ID, true
+			id = s.ID
+			return false
 		}
-	}
-	return -1, false
+		return true
+	})
+	return id, id != -1
 }
 
 // OpenFaaSPlusConfig configures the OpenFaaS⁺ baseline.

@@ -27,6 +27,11 @@ type Options struct {
 	// their points across goroutines (<= 1 means serial). Results are
 	// identical at any setting; see runner.go's determinism contract.
 	Parallel int
+	// Shards is the cluster shard count for the scale experiments
+	// (fig17a/b, fig18a/b; 0 = 1). Sharding never changes placement
+	// decisions, so tables stay byte-identical at any setting — fig17s
+	// sweeps this axis explicitly to measure the wall-clock effect.
+	Shards int
 }
 
 func (o *Options) defaults() {
@@ -189,6 +194,7 @@ func All() []Experiment {
 		{ID: "fig15", Desc: "SLO violations and latency breakdown", Run: Fig15},
 		{ID: "fig16", Desc: "Cold-start rate: LSTH vs HHP vs fixed", Run: Fig16},
 		{ID: "fig17a", Desc: "Scheduling overhead at scale", Run: Fig17a, WallClock: true},
+		{ID: "fig17s", Desc: "Scheduling overhead: servers x shards sweep", Run: Fig17s, WallClock: true},
 		{ID: "fig17b", Desc: "Resource fragmentation at scale", Run: Fig17b},
 		{ID: "fig18a", Desc: "Large-scale throughput vs #functions", Run: Fig18a},
 		{ID: "fig18b", Desc: "Large-scale throughput vs SLO", Run: Fig18b},

@@ -10,6 +10,7 @@ package bench
 import (
 	"fmt"
 	"math/rand"
+	goruntime "runtime"
 	"time"
 
 	"github.com/tanklab/infless/internal/batching"
@@ -148,9 +149,9 @@ func uniformCandidate(fn scheduler.Function, ladder []perf.Resources, batches []
 func pickServer(cl *cluster.Cluster, res perf.Resources, memMB int, bestFit bool) (int, bool) {
 	bestID := -1
 	bestFree := 0.0
-	for _, s := range cl.Servers() {
+	cl.EachServer(func(s *cluster.Server) bool {
 		if s.Down() || !s.Free.Fits(res) || s.MemFreeMB < memMB {
-			continue
+			return true
 		}
 		free := s.Free.Weighted()
 		better := free < bestFree
@@ -160,7 +161,8 @@ func pickServer(cl *cluster.Cluster, res perf.Resources, memMB int, bestFit bool
 		if bestID == -1 || better {
 			bestID, bestFree = s.ID, free
 		}
-	}
+		return true
+	})
 	return bestID, bestID != -1
 }
 
@@ -177,7 +179,7 @@ func Fig17a(opts Options) *Table {
 	fn := scheduler.Function{Name: "resnet", Model: model.MustGet("ResNet-50"), SLO: 200 * time.Millisecond}
 	for _, n := range counts {
 		plan := scheduler.BuildPlan(fn, scalePred, scheduler.Options{MaxInstancesPerCall: n})
-		cl := cluster.LargeScale()
+		cl := cluster.New(cluster.Options{Servers: 2000, Shards: opts.Shards})
 		start := time.Now() //lint:ignore wallclock fig17a measures wall-clock scheduling overhead by design
 		ds, _ := plan.Schedule(1e12, cl)
 		elapsed := time.Since(start) //lint:ignore wallclock fig17a measures wall-clock scheduling overhead by design
@@ -192,6 +194,70 @@ func Fig17a(opts Options) *Table {
 	}
 	t.Note("paper: ~0.5ms per instance; <1s for 10,000 concurrent requests")
 	return t
+}
+
+// Fig17s extends Figure 17a across the shard axis: one full packing run
+// (Schedule until the cluster is exhausted) per server count x shard
+// count, against the pre-shard scheduler as baseline — the seed's pass 1
+// (a placement query per candidate, no ranked prefix cut) on an
+// unsharded cluster. Every sharded run's decisions are checked
+// bit-identical to the baseline's; the table says so explicitly, because
+// a speedup that changed placements would be a bug, not a win.
+func Fig17s(opts Options) *Table {
+	opts.defaults()
+	sizes := []int{2000, 20000, 100000}
+	if opts.Quick {
+		sizes = []int{2000, 20000}
+	}
+	shardCounts := []int{1, 4, 16}
+	t := &Table{ID: "fig17s", Title: "Scheduling overhead: servers x shards (wall clock)",
+		Cols: []string{"totalMs", "perInstanceUs", "speedup", "identical"}}
+	fn := scheduler.Function{Name: "resnet", Model: model.MustGet("ResNet-50"), SLO: 200 * time.Millisecond}
+	workers := goruntime.GOMAXPROCS(0)
+	for _, n := range sizes {
+		// Cap placements so the sweep stays tractable at 100k servers
+		// while every run still walks the whole allocation frontier.
+		maxInst := n
+		base := scheduler.BuildPlan(fn, scalePred,
+			scheduler.Options{MaxInstancesPerCall: maxInst, DisablePrefixCut: true})
+		baseCl := cluster.New(cluster.Options{Servers: n})
+		start := time.Now() //lint:ignore wallclock fig17s measures wall-clock scheduling overhead by design
+		ref, _ := base.Schedule(1e12, baseCl)
+		baseElapsed := time.Since(start) //lint:ignore wallclock fig17s measures wall-clock scheduling overhead by design
+		if len(ref) == 0 {
+			t.AddRow(fmt.Sprintf("%dk baseline", n/1000), "-", "-", "-", "-")
+			continue
+		}
+		t.AddRow(fmt.Sprintf("%dk srv baseline", n/1000),
+			ms(baseElapsed), perInst(baseElapsed, len(ref)), "1.0x", "ref")
+		for _, shards := range shardCounts {
+			plan := scheduler.BuildPlan(fn, scalePred,
+				scheduler.Options{MaxInstancesPerCall: maxInst, FitWorkers: workers})
+			cl := cluster.New(cluster.Options{Servers: n, Shards: shards})
+			start := time.Now() //lint:ignore wallclock fig17s measures wall-clock scheduling overhead by design
+			ds, _ := plan.Schedule(1e12, cl)
+			elapsed := time.Since(start) //lint:ignore wallclock fig17s measures wall-clock scheduling overhead by design
+			identical := len(ds) == len(ref)
+			for i := 0; identical && i < len(ds); i++ {
+				identical = ds[i] == ref[i]
+			}
+			id := "yes"
+			if !identical {
+				id = "NO"
+			}
+			t.AddRow(fmt.Sprintf("%dk srv %d shards", n/1000, shards),
+				ms(elapsed), perInst(elapsed, len(ds)),
+				fmt.Sprintf("%.1fx", float64(baseElapsed)/float64(elapsed)), id)
+		}
+	}
+	t.Note("baseline: pre-shard scheduler (full pass-1 candidate walk, unsharded cluster)")
+	t.Note(fmt.Sprintf("FitWorkers=%d (GOMAXPROCS); on a 1-core host the fan-out is ~serial and gains come from the ranked prefix cut and shard pruning", workers))
+	return t
+}
+
+// perInst renders microseconds per placed instance.
+func perInst(d time.Duration, placed int) string {
+	return fmt.Sprintf("%.2f", float64(d)/float64(time.Microsecond)/float64(placed))
 }
 
 // Fig17b compares fragment ratios of the four systems in the large-scale
@@ -213,7 +279,7 @@ func Fig17b(opts Options) *Table {
 		for i := range fns {
 			fns[i].load *= 4
 		}
-		return cluster.New(cluster.Options{Servers: servers}), fns
+		return cluster.New(cluster.Options{Servers: servers, Shards: opts.Shards}), fns
 	}
 	ladder := []perf.Resources{{CPU: 2, GPU: 1}, {CPU: 4, GPU: 2}, {CPU: 8, GPU: 4}}
 	batches := []int{1, 2, 4, 8, 16, 32}
@@ -262,7 +328,7 @@ func Fig18a(opts Options) *Table {
 			return fns
 		}
 		perRes := func(pack func(*cluster.Cluster, []scaleFunction) float64) float64 {
-			cl := cluster.New(cluster.Options{Servers: servers})
+			cl := cluster.New(cluster.Options{Servers: servers, Shards: opts.Shards})
 			abs := pack(cl, mk())
 			w := cl.TotalAllocated().Weighted()
 			if w == 0 {
@@ -310,7 +376,7 @@ func Fig18b(opts Options) *Table {
 		for j := range fns {
 			fns[j].load *= 4
 		}
-		cl := cluster.New(cluster.Options{Servers: servers})
+		cl := cluster.New(cluster.Options{Servers: servers, Shards: opts.Shards})
 		abs, _ := packInfless(fns, cl, scheduler.Options{})
 		w := cl.TotalAllocated().Weighted()
 		if w > 0 {

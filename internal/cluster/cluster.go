@@ -4,11 +4,15 @@
 // auto-scaling engine (Figure 4) plus the fragmentation accounting used
 // by the evaluation (Figure 17b).
 //
-// All aggregate views — resource totals, active-server counts, the
-// fragmentation ratio and the free-capacity index behind BestFit — are
+// The resource view is sharded (shard.go): servers split into contiguous
+// ID ranges, each with its own free-capacity index and integer-backed
+// aggregates, so placement queries and index maintenance stay shard-local
+// while cluster-wide reads merge shard counters deterministically. All
+// aggregate views — resource totals, active-server counts, the
+// fragmentation ratio and the free-capacity indexes behind BestFit — are
 // maintained incrementally by Allocate/Release/SetDown, so telemetry
-// sampling and placement queries cost O(1)/O(log n) instead of a scan
-// over every server.
+// sampling and placement queries cost O(shards)/O(log n) instead of a
+// scan over every server.
 package cluster
 
 import (
@@ -39,18 +43,12 @@ func (s *Server) Allocated() perf.Resources { return s.Capacity.Sub(s.Free) }
 // paper's fragmentation metric only counts active servers.
 func (s *Server) Active() bool { return s.allocs > 0 }
 
-// Cluster is a collection of servers with allocation bookkeeping.
+// Cluster is a collection of servers with allocation bookkeeping, split
+// into shards (shard.go) that each own a free-capacity index and the
+// aggregates for their ID range.
 type Cluster struct {
 	servers []*Server
-	index   freeIndex
-
-	// Incremental aggregates; all integer-backed (perf.Resources and
-	// counts), so they match a fresh rescan bit for bit.
-	totalCap   perf.Resources
-	totalFree  perf.Resources
-	active     int
-	activeCap  perf.Resources // capacity summed over active servers
-	activeFree perf.Resources // free summed over active servers
+	shards  []shard
 }
 
 // Options configures cluster construction.
@@ -58,6 +56,11 @@ type Options struct {
 	Servers   int
 	PerServer perf.Resources
 	MemMB     int
+	// Shards is the number of contiguous ID-range shards the resource
+	// view is split into (default 1; clamped to the server count).
+	// Sharding never changes placement decisions — only who answers the
+	// query and how much of the index one mutation touches.
+	Shards int
 }
 
 // New creates a homogeneous cluster. Zero-valued fields default to the
@@ -82,7 +85,7 @@ func New(opts Options) *Cluster {
 			MemFreeMB: opts.MemMB,
 		}
 	}
-	c.init()
+	c.init(opts.Shards)
 	return c
 }
 
@@ -94,10 +97,19 @@ type NodePool struct {
 	MemMB     int
 }
 
-// NewHeterogeneous builds a cluster from node pools — e.g. a GPU pool
-// plus CPU-only workers, the common production layout. Server IDs are
-// assigned across pools in order.
+// NewHeterogeneous builds a single-shard cluster from node pools — e.g.
+// a GPU pool plus CPU-only workers, the common production layout. Server
+// IDs are assigned across pools in order.
 func NewHeterogeneous(pools []NodePool) *Cluster {
+	return NewHeterogeneousSharded(pools, 1)
+}
+
+// NewHeterogeneousSharded builds a heterogeneous cluster split into the
+// given number of shards. Shard boundaries are contiguous ID ranges over
+// the pool-ordered server list, so a pool maps onto a run of shards (and
+// a shard may straddle a pool boundary — the equivalence tests cover
+// exactly that case).
+func NewHeterogeneousSharded(pools []NodePool, shards int) *Cluster {
 	c := &Cluster{}
 	for _, p := range pools {
 		if p.Servers <= 0 {
@@ -124,17 +136,24 @@ func NewHeterogeneous(pools []NodePool) *Cluster {
 	if len(c.servers) == 0 {
 		panic("cluster: heterogeneous cluster with no servers")
 	}
-	c.init()
+	c.init(shards)
 	return c
 }
 
-// init seeds the aggregates and the free-capacity index.
-func (c *Cluster) init() {
-	for _, s := range c.servers {
-		c.totalCap = c.totalCap.Add(s.Capacity)
-		c.totalFree = c.totalFree.Add(s.Free)
+// init splits the servers into shards and seeds each shard's aggregates
+// and free-capacity index.
+func (c *Cluster) init(shards int) {
+	bounds := shardBounds(len(c.servers), shards)
+	c.shards = make([]shard, len(bounds)-1)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.lo, sh.hi = bounds[i], bounds[i+1]
+		for _, s := range c.servers[sh.lo:sh.hi] {
+			sh.totalCap = sh.totalCap.Add(s.Capacity)
+			sh.totalFree = sh.totalFree.Add(s.Free)
+		}
+		sh.index.build(c.servers[sh.lo:sh.hi], sh.lo)
 	}
-	c.index.build(c.servers)
 }
 
 // Testbed returns the paper's 8-server, 16-GPU local cluster.
@@ -155,22 +174,40 @@ func (c *Cluster) Server(id int) *Server {
 	return c.servers[id]
 }
 
-// Servers returns the underlying server list (not a copy; callers must
-// not mutate inventory except through Allocate/Release).
-func (c *Cluster) Servers() []*Server { return c.servers }
+// Servers returns a snapshot copy of the server list, in ID order. The
+// returned slice is the caller's; the *Server inventories it points at
+// are live and must only be mutated through Allocate/Release. Iteration
+// without the copy goes through EachServer.
+func (c *Cluster) Servers() []*Server {
+	return append([]*Server(nil), c.servers...)
+}
+
+// EachServer visits every server in ID order until visit returns false.
+// It exists so reporting and baseline code can walk the inventory
+// without the cluster handing out its backing slice (the shard layout
+// behind it stays private).
+func (c *Cluster) EachServer(visit func(*Server) bool) {
+	for _, s := range c.servers {
+		if !visit(s) {
+			return
+		}
+	}
+}
 
 // SetDown marks a server failed (true) or recovered (false). Down
-// servers leave the free-capacity index: they can never host placements.
+// servers leave their shard's free-capacity index: they can never host
+// placements.
 func (c *Cluster) SetDown(id int, down bool) {
 	s := c.Server(id)
 	if s.down == down {
 		return
 	}
 	s.down = down
+	sh := c.shardFor(id)
 	if down {
-		c.index.remove(int32(id))
+		sh.index.remove(int32(id))
 	} else {
-		c.index.insert(int32(id), s.Free.Weighted())
+		sh.index.insert(int32(id), s.Free.Weighted())
 	}
 }
 
@@ -190,15 +227,16 @@ func (c *Cluster) Allocate(id int, res perf.Resources, memMB int) error {
 	s.Free = s.Free.Sub(res)
 	s.MemFreeMB -= memMB
 	s.allocs++
-	c.totalFree = c.totalFree.Sub(res)
+	sh := c.shardFor(id)
+	sh.totalFree = sh.totalFree.Sub(res)
 	if wasActive {
-		c.activeFree = c.activeFree.Sub(res)
+		sh.activeFree = sh.activeFree.Sub(res)
 	} else {
-		c.active++
-		c.activeCap = c.activeCap.Add(s.Capacity)
-		c.activeFree = c.activeFree.Add(s.Free)
+		sh.active++
+		sh.activeCap = sh.activeCap.Add(s.Capacity)
+		sh.activeFree = sh.activeFree.Add(s.Free)
 	}
-	c.index.reposition(int32(id), s.Free.Weighted())
+	sh.index.reposition(int32(id), s.Free.Weighted())
 	return nil
 }
 
@@ -212,66 +250,80 @@ func (c *Cluster) Release(id int, res perf.Resources, memMB int) {
 	if !s.Capacity.Fits(s.Free) || s.MemFreeMB > s.MemCapMB || s.allocs < 0 {
 		panic(fmt.Sprintf("cluster: release underflow on server %d", id))
 	}
-	c.totalFree = c.totalFree.Add(res)
+	sh := c.shardFor(id)
+	sh.totalFree = sh.totalFree.Add(res)
 	if s.allocs > 0 {
-		c.activeFree = c.activeFree.Add(res)
+		sh.activeFree = sh.activeFree.Add(res)
 	} else {
 		// The server leaves the active set: drop its pre-release
 		// contribution (post-release free minus the returned res).
-		c.active--
-		c.activeCap = c.activeCap.Sub(s.Capacity)
-		c.activeFree = c.activeFree.Sub(s.Free.Sub(res))
+		sh.active--
+		sh.activeCap = sh.activeCap.Sub(s.Capacity)
+		sh.activeFree = sh.activeFree.Sub(s.Free.Sub(res))
 	}
-	c.index.reposition(int32(id), s.Free.Weighted())
+	sh.index.reposition(int32(id), s.Free.Weighted())
 }
 
 // BestFit returns the fitting up server with the least free weighted
 // capacity (ties: lowest id) — the "fullest server that can still host
-// this candidate" query that maximizes Eq. 10's packing term. It answers
-// from the free-capacity index: a binary search for the first server
-// whose free weight could possibly fit, then a short ascending walk
-// until the CPU/GPU/memory dimensions all fit.
+// this candidate" query that maximizes Eq. 10's packing term. It merges
+// the per-shard free-capacity indexes (BestFitShards): within a shard, a
+// binary search for the first server whose free weight could possibly
+// fit, then a short ascending walk until the CPU/GPU/memory dimensions
+// all fit; across shards, the deterministic least-key merge.
 func (c *Cluster) BestFit(res perf.Resources, memMB int) (id int, freeW float64, ok bool) {
-	id = -1
-	c.index.ascend(res.Weighted(), func(sid int32) bool {
-		s := c.servers[sid]
-		if s.Free.Fits(res) && s.MemFreeMB >= memMB {
-			id, freeW, ok = int(sid), c.index.keys[sid], true
-			return false
-		}
-		return true
-	})
-	return id, freeW, ok
+	return c.BestFitShards(0, len(c.shards), res, memMB)
 }
 
 // FirstFit returns the lowest-id fitting up server — the first-fit
 // placement of the Figure 11 RS ablation and of uniform baselines.
 func (c *Cluster) FirstFit(res perf.Resources, memMB int) (id int, freeW float64, ok bool) {
-	for _, s := range c.servers {
-		if s.down || !s.Free.Fits(res) || s.MemFreeMB < memMB {
-			continue
-		}
-		return s.ID, s.Free.Weighted(), true
-	}
-	return -1, 0, false
+	return c.FirstFitShards(0, len(c.shards), res, memMB)
 }
 
-// TotalCapacity sums resource capacity across all servers.
-func (c *Cluster) TotalCapacity() perf.Resources { return c.totalCap }
+// TotalCapacity sums resource capacity across all servers (merged over
+// shards; integer sums, so the merge order cannot change the result).
+func (c *Cluster) TotalCapacity() perf.Resources {
+	var total perf.Resources
+	for i := range c.shards {
+		total = total.Add(c.shards[i].totalCap)
+	}
+	return total
+}
 
 // TotalAllocated sums allocated resources across all servers.
-func (c *Cluster) TotalAllocated() perf.Resources { return c.totalCap.Sub(c.totalFree) }
+func (c *Cluster) TotalAllocated() perf.Resources {
+	var total perf.Resources
+	for i := range c.shards {
+		sh := &c.shards[i]
+		total = total.Add(sh.totalCap.Sub(sh.totalFree))
+	}
+	return total
+}
 
 // ActiveServers returns the number of servers hosting allocations.
-func (c *Cluster) ActiveServers() int { return c.active }
+func (c *Cluster) ActiveServers() int {
+	n := 0
+	for i := range c.shards {
+		n += c.shards[i].active
+	}
+	return n
+}
 
 // FragmentationRatio is the paper's resource-fragment metric: the
 // beta-weighted share of *active* servers' capacity that is left
-// unallocated. An idle cluster has zero fragmentation.
+// unallocated. An idle cluster has zero fragmentation. The weighting
+// happens after the integer shard sums merge, so the ratio is bit-equal
+// to the unsharded computation.
 func (c *Cluster) FragmentationRatio() float64 {
-	cap := c.activeCap.Weighted()
+	var activeCap, activeFree perf.Resources
+	for i := range c.shards {
+		activeCap = activeCap.Add(c.shards[i].activeCap)
+		activeFree = activeFree.Add(c.shards[i].activeFree)
+	}
+	cap := activeCap.Weighted()
 	if cap == 0 {
 		return 0
 	}
-	return c.activeFree.Weighted() / cap
+	return activeFree.Weighted() / cap
 }

@@ -1,59 +1,89 @@
 package cluster
 
-// index.go is the cluster's incrementally-maintained free-capacity
-// index: every up server, ordered by (free weighted capacity, id). The
-// scheduler's best-fit query — "the fullest server that still fits this
-// candidate" — becomes a binary search for the lower bound plus a short
-// ascending walk, instead of a scan over all 2,000 servers per candidate
-// (Figure 17a's scalability claim). Allocate, Release and SetDown
-// reposition the affected server with an insertion-sort slide, so the
-// index pays O(distance moved) per mutation and nothing on reads.
+// index.go is a shard's incrementally-maintained free-capacity index:
+// every up server in the shard's ID range, ordered by (free weighted
+// capacity, id). The scheduler's best-fit query — "the fullest server
+// that still fits this candidate" — becomes a binary search for the
+// lower bound plus a short ascending walk, instead of a scan over all
+// servers per candidate (Figure 17a's scalability claim). Allocate,
+// Release and SetDown reposition the affected server with an
+// insertion-sort slide, so the index pays O(distance moved) per mutation
+// and nothing on reads. The pos/keys arrays are offset by the shard's
+// base id, so each shard's index is sized to its own range — at 100k
+// servers a 16-way split keeps the hot arrays a sixteenth of the size,
+// which is what makes the per-shard binary search cache-resident.
 
 import "sort"
 
 // freeIndex holds server ids sorted by (key, id), where key is the
 // server's free weighted capacity at its last reposition. Down servers
-// are absent (pos = -1): they accept no placements.
+// are absent (pos = -1): they accept no placements. All ids exchanged
+// with callers are global server ids; base maps them into the local
+// pos/keys slots.
 type freeIndex struct {
-	ids  []int32   // sorted by (keys[id], id)
-	pos  []int32   // server id -> slot in ids, -1 when absent
-	keys []float64 // server id -> indexed key while present
+	base int32     // first server id of the owning shard's range
+	ids  []int32   // global ids sorted by (keys[id-base], id)
+	pos  []int32   // id-base -> slot in ids, -1 when absent
+	keys []float64 // id-base -> indexed key while present
 }
 
-// build initializes the index over all up servers.
-func (ix *freeIndex) build(servers []*Server) {
+// build initializes the index over the shard's up servers. servers is
+// the shard's slice of the cluster list; base is its first server id.
+func (ix *freeIndex) build(servers []*Server, base int) {
 	n := len(servers)
+	ix.base = int32(base)
 	ix.ids = ix.ids[:0]
 	ix.pos = make([]int32, n)
 	ix.keys = make([]float64, n)
 	for _, s := range servers {
-		ix.pos[s.ID] = -1
-		ix.keys[s.ID] = s.Free.Weighted()
+		ix.pos[s.ID-base] = -1
+		ix.keys[s.ID-base] = s.Free.Weighted()
 		if !s.down {
 			ix.ids = append(ix.ids, int32(s.ID))
 		}
 	}
 	sort.Slice(ix.ids, func(a, b int) bool {
-		ka, kb := ix.keys[ix.ids[a]], ix.keys[ix.ids[b]]
+		ka, kb := ix.keys[ix.ids[a]-ix.base], ix.keys[ix.ids[b]-ix.base]
 		if ka != kb {
 			return ka < kb
 		}
 		return ix.ids[a] < ix.ids[b]
 	})
 	for slot, id := range ix.ids {
-		ix.pos[id] = int32(slot)
+		ix.pos[id-ix.base] = int32(slot)
 	}
+}
+
+// key returns the indexed key for global id (valid for any server in the
+// shard's range, present or not).
+func (ix *freeIndex) key(id int32) float64 { return ix.keys[id-ix.base] }
+
+// minKey returns the smallest indexed key, reporting false when the
+// index is empty (every server in the range down).
+func (ix *freeIndex) minKey() (float64, bool) {
+	if len(ix.ids) == 0 {
+		return 0, false
+	}
+	return ix.keys[ix.ids[0]-ix.base], true
+}
+
+// maxKey returns the largest indexed key, reporting false when empty.
+func (ix *freeIndex) maxKey() (float64, bool) {
+	if len(ix.ids) == 0 {
+		return 0, false
+	}
+	return ix.keys[ix.ids[len(ix.ids)-1]-ix.base], true
 }
 
 // after reports whether indexed entry id sorts after the probe (key, probeID).
 func (ix *freeIndex) after(id int32, key float64, probeID int32) bool {
-	k := ix.keys[id]
+	k := ix.keys[id-ix.base]
 	return k > key || (k == key && id > probeID)
 }
 
 // insert adds id with the given key. The id must be absent.
 func (ix *freeIndex) insert(id int32, key float64) {
-	ix.keys[id] = key
+	ix.keys[id-ix.base] = key
 	slot := sort.Search(len(ix.ids), func(i int) bool {
 		return ix.after(ix.ids[i], key, id)
 	})
@@ -61,52 +91,52 @@ func (ix *freeIndex) insert(id int32, key float64) {
 	copy(ix.ids[slot+1:], ix.ids[slot:])
 	ix.ids[slot] = id
 	for s := slot; s < len(ix.ids); s++ {
-		ix.pos[ix.ids[s]] = int32(s)
+		ix.pos[ix.ids[s]-ix.base] = int32(s)
 	}
 }
 
 // remove deletes id from the index. The id must be present.
 func (ix *freeIndex) remove(id int32) {
-	slot := int(ix.pos[id])
+	slot := int(ix.pos[id-ix.base])
 	copy(ix.ids[slot:], ix.ids[slot+1:])
 	ix.ids = ix.ids[:len(ix.ids)-1]
 	for s := slot; s < len(ix.ids); s++ {
-		ix.pos[ix.ids[s]] = int32(s)
+		ix.pos[ix.ids[s]-ix.base] = int32(s)
 	}
-	ix.pos[id] = -1
+	ix.pos[id-ix.base] = -1
 }
 
 // reposition updates id's key and slides it to its new slot. Allocations
 // shrink the key by one candidate's weight, so the move distance — and
 // the cost — is typically a handful of slots.
 func (ix *freeIndex) reposition(id int32, key float64) {
-	slot := int(ix.pos[id])
+	slot := int(ix.pos[id-ix.base])
 	if slot < 0 {
-		ix.keys[id] = key // down server: key updates, membership doesn't
+		ix.keys[id-ix.base] = key // down server: key updates, membership doesn't
 		return
 	}
-	ix.keys[id] = key
+	ix.keys[id-ix.base] = key
 	// Slide left while the predecessor sorts after (key, id).
 	for slot > 0 && ix.after(ix.ids[slot-1], key, id) {
 		ix.ids[slot] = ix.ids[slot-1]
-		ix.pos[ix.ids[slot]] = int32(slot)
+		ix.pos[ix.ids[slot]-ix.base] = int32(slot)
 		slot--
 	}
 	// Or slide right while the successor sorts before it.
 	for slot < len(ix.ids)-1 && !ix.after(ix.ids[slot+1], key, id) {
 		ix.ids[slot] = ix.ids[slot+1]
-		ix.pos[ix.ids[slot]] = int32(slot)
+		ix.pos[ix.ids[slot]-ix.base] = int32(slot)
 		slot++
 	}
 	ix.ids[slot] = id
-	ix.pos[id] = int32(slot)
+	ix.pos[id-ix.base] = int32(slot)
 }
 
-// ascend visits ids in (key, id) order starting at the first entry with
-// key >= minKey, until visit returns false.
+// ascend visits global ids in (key, id) order starting at the first
+// entry with key >= minKey, until visit returns false.
 func (ix *freeIndex) ascend(minKey float64, visit func(id int32) bool) {
 	start := sort.Search(len(ix.ids), func(i int) bool {
-		return ix.keys[ix.ids[i]] >= minKey
+		return ix.keys[ix.ids[i]-ix.base] >= minKey
 	})
 	for s := start; s < len(ix.ids); s++ {
 		if !visit(ix.ids[s]) {

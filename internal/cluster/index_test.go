@@ -37,32 +37,59 @@ func naiveFirstFit(c *Cluster, res perf.Resources, memMB int) (int, float64, boo
 	return -1, 0, false
 }
 
-// checkIndexInvariants verifies the index against ground truth: sorted
-// by (key, id), positions consistent, keys equal to live free weights,
-// down servers absent, and the incremental aggregates equal to a rescan.
+// checkIndexInvariants verifies every shard's index against ground
+// truth: contiguous non-overlapping ID ranges covering all servers,
+// entries sorted by (key, id) and inside the owning range, positions
+// consistent, keys equal to live free weights, down servers absent, and
+// the shard-merged incremental aggregates equal to a rescan.
 func checkIndexInvariants(t *testing.T, c *Cluster) {
 	t.Helper()
-	ix := &c.index
 	seen := 0
-	for slot, id := range ix.ids {
-		s := c.servers[id]
-		if s.down {
-			t.Fatalf("down server %d present in index", id)
+	nextLo := 0
+	for si := range c.shards {
+		sh := &c.shards[si]
+		if sh.lo != nextLo || sh.hi <= sh.lo {
+			t.Fatalf("shard %d: range [%d,%d) does not continue from %d", si, sh.lo, sh.hi, nextLo)
 		}
-		if ix.pos[id] != int32(slot) {
-			t.Fatalf("server %d: pos %d != slot %d", id, ix.pos[id], slot)
+		nextLo = sh.hi
+		ix := &sh.index
+		if int(ix.base) != sh.lo {
+			t.Fatalf("shard %d: index base %d != lo %d", si, ix.base, sh.lo)
 		}
-		if ix.keys[id] != s.Free.Weighted() {
-			t.Fatalf("server %d: stale key %v != %v", id, ix.keys[id], s.Free.Weighted())
+		for slot, id := range ix.ids {
+			if int(id) < sh.lo || int(id) >= sh.hi {
+				t.Fatalf("shard %d: indexed server %d outside range [%d,%d)", si, id, sh.lo, sh.hi)
+			}
+			s := c.servers[id]
+			if s.down {
+				t.Fatalf("down server %d present in index", id)
+			}
+			if ix.pos[id-ix.base] != int32(slot) {
+				t.Fatalf("server %d: pos %d != slot %d", id, ix.pos[id-ix.base], slot)
+			}
+			if ix.key(id) != s.Free.Weighted() {
+				t.Fatalf("server %d: stale key %v != %v", id, ix.key(id), s.Free.Weighted())
+			}
+			if slot > 0 {
+				p := ix.ids[slot-1]
+				if ix.key(p) > ix.key(id) || (ix.key(p) == ix.key(id) && p > id) {
+					t.Fatalf("index out of order at slot %d: (%v,%d) before (%v,%d)",
+						slot, ix.key(p), p, ix.key(id), id)
+				}
+			}
+			seen++
 		}
-		if slot > 0 {
-			p := ix.ids[slot-1]
-			if ix.keys[p] > ix.keys[id] || (ix.keys[p] == ix.keys[id] && p > id) {
-				t.Fatalf("index out of order at slot %d: (%v,%d) before (%v,%d)",
-					slot, ix.keys[p], p, ix.keys[id], id)
+		for _, s := range c.servers[sh.lo:sh.hi] {
+			if c.shardFor(s.ID) != sh {
+				t.Fatalf("shardFor(%d) does not return the owning shard [%d,%d)", s.ID, sh.lo, sh.hi)
+			}
+			if !s.down && ix.pos[s.ID-sh.lo] < 0 {
+				t.Fatalf("up server %d missing from shard %d index", s.ID, si)
 			}
 		}
-		seen++
+	}
+	if nextLo != len(c.servers) {
+		t.Fatalf("shards cover [0,%d), want [0,%d)", nextLo, len(c.servers))
 	}
 	up := 0
 	var cap, free, activeCap, activeFree perf.Resources
@@ -70,9 +97,6 @@ func checkIndexInvariants(t *testing.T, c *Cluster) {
 	for _, s := range c.servers {
 		if !s.down {
 			up++
-			if ix.pos[s.ID] < 0 {
-				t.Fatalf("up server %d missing from index", s.ID)
-			}
 		}
 		cap = cap.Add(s.Capacity)
 		free = free.Add(s.Free)
@@ -83,7 +107,7 @@ func checkIndexInvariants(t *testing.T, c *Cluster) {
 		}
 	}
 	if seen != up {
-		t.Fatalf("index has %d entries, want %d up servers", seen, up)
+		t.Fatalf("indexes hold %d entries, want %d up servers", seen, up)
 	}
 	if c.TotalCapacity() != cap {
 		t.Fatalf("TotalCapacity %v != rescan %v", c.TotalCapacity(), cap)
@@ -111,15 +135,17 @@ func checkIndexInvariants(t *testing.T, c *Cluster) {
 func TestQuickBestFitMatchesScan(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
+		// Shard counts beyond the server count exercise the clamp.
+		shards := 1 + rng.Intn(6)
 		var c *Cluster
 		if rng.Intn(2) == 0 {
-			c = New(Options{Servers: 1 + rng.Intn(12)})
+			c = New(Options{Servers: 1 + rng.Intn(12), Shards: shards})
 		} else {
-			c = NewHeterogeneous([]NodePool{
+			c = NewHeterogeneousSharded([]NodePool{
 				{Servers: 1 + rng.Intn(4), PerServer: perf.Resources{CPU: 32}, MemMB: 64 * 1024},
 				{Servers: 1 + rng.Intn(4), PerServer: perf.Resources{CPU: 8, GPU: 40}},
 				{Servers: 1 + rng.Intn(4)},
-			})
+			}, shards)
 		}
 		type alloc struct {
 			id  int

@@ -1,0 +1,134 @@
+package cluster
+
+// shard.go is the cluster's partitioned resource view: servers are split
+// into contiguous ID ranges, each shard owning its own free-capacity
+// index and integer-backed aggregates. Aggregate reads merge shard
+// counters (integer sums, so the merge is order-independent and matches
+// the unsharded bookkeeping bit for bit); placement queries visit shards
+// in ascending range order and merge deterministically — least free
+// weighted capacity wins, and because shard ID ranges are disjoint and
+// ascending, key ties always resolve to the earlier shard, i.e. the
+// lowest server id. That is exactly the single-index contract, which is
+// what keeps sharded scheduling decisions bit-identical to a one-shard
+// reference run (see TestShardedMatchesSingleShard).
+//
+// Two O(1) prunes keep the merged query cheap at 100k servers: a shard
+// whose largest free key is below the candidate's weight cannot host it
+// (skip without searching), and once a best is found, a shard whose
+// smallest key is not strictly better cannot improve it (ties lose by
+// id). In packing workloads the allocation frontier moves through one
+// shard at a time, so most shards are dismissed with one float compare
+// and the binary search runs over a shard-sized, cache-warm index.
+
+import "github.com/tanklab/infless/internal/perf"
+
+// shard is one contiguous slice [lo, hi) of the server ID space with its
+// own free-capacity index and incremental aggregates.
+type shard struct {
+	lo, hi int
+	index  freeIndex
+
+	// Integer-backed aggregates for the shard's servers, maintained by
+	// Allocate/Release exactly like the pre-shard cluster-wide ones; the
+	// cluster-level views are their sums.
+	totalCap   perf.Resources
+	totalFree  perf.Resources
+	active     int
+	activeCap  perf.Resources // capacity summed over active servers
+	activeFree perf.Resources // free summed over active servers
+}
+
+// ShardCount returns the number of shards.
+func (c *Cluster) ShardCount() int { return len(c.shards) }
+
+// shardFor returns the shard owning server id. Boundaries are the
+// near-equal split lo_i = i*N/n, so the guess i = id*n/N is off by at
+// most one slot.
+func (c *Cluster) shardFor(id int) *shard {
+	n := len(c.shards)
+	if n == 1 {
+		return &c.shards[0]
+	}
+	si := id * n / len(c.servers)
+	if si >= n {
+		si = n - 1
+	}
+	for si > 0 && id < c.shards[si].lo {
+		si--
+	}
+	for si+1 < n && id >= c.shards[si].hi {
+		si++
+	}
+	return &c.shards[si]
+}
+
+// BestFitShards answers the best-fit query over the shard range
+// [from, to): the fitting up server with the least free weighted
+// capacity, lowest id on ties. Disjoint ranges can be queried from
+// concurrent goroutines (the query is read-only); merging the per-range
+// winners in ascending range order with a strictly-less key comparison
+// reproduces the full-cluster answer, because every server id in a later
+// shard is greater than every id in an earlier one.
+func (c *Cluster) BestFitShards(from, to int, res perf.Resources, memMB int) (id int, freeW float64, ok bool) {
+	minW := res.Weighted()
+	id = -1
+	for si := from; si < to; si++ {
+		sh := &c.shards[si]
+		// Prune 1: the shard's fullest-free server decides feasibility.
+		if maxK, any := sh.index.maxKey(); !any || maxK < minW {
+			continue
+		}
+		// Prune 2: the shard's least free key cannot beat the current
+		// best — equal keys lose on id, since this shard's ids are larger.
+		if ok {
+			if minK, _ := sh.index.minKey(); minK >= freeW {
+				continue
+			}
+		}
+		sh.index.ascend(minW, func(sid int32) bool {
+			k := sh.index.key(sid)
+			if ok && k >= freeW {
+				return false // nothing past here can beat the best
+			}
+			s := c.servers[sid]
+			if s.Free.Fits(res) && s.MemFreeMB >= memMB {
+				id, freeW, ok = int(sid), k, true
+				return false
+			}
+			return true
+		})
+	}
+	return id, freeW, ok
+}
+
+// FirstFitShards answers the first-fit query over the shard range
+// [from, to): the lowest-id fitting up server. Scanning ranges in
+// ascending order is identical to the flat lowest-id scan.
+func (c *Cluster) FirstFitShards(from, to int, res perf.Resources, memMB int) (id int, freeW float64, ok bool) {
+	for si := from; si < to; si++ {
+		sh := &c.shards[si]
+		for _, s := range c.servers[sh.lo:sh.hi] {
+			if s.down || !s.Free.Fits(res) || s.MemFreeMB < memMB {
+				continue
+			}
+			return s.ID, s.Free.Weighted(), true
+		}
+	}
+	return -1, 0, false
+}
+
+// shardBounds returns the contiguous near-equal split of n servers into
+// count shards: shard i owns [i*n/count, (i+1)*n/count).
+func shardBounds(n, count int) []int {
+	if count < 1 {
+		count = 1
+	}
+	if count > n {
+		count = n
+	}
+	bounds := make([]int, count+1)
+	for i := 0; i <= count; i++ {
+		bounds[i] = i * n / count
+	}
+	return bounds
+}

@@ -38,7 +38,6 @@ type function struct {
 
 	mu        sync.Mutex
 	pool      runtime.Pool[*instance]
-	rate      *runtime.RateEstimator
 	launchDue time.Duration // plane time; 0 = no launch pending
 	closed    bool
 }
@@ -52,31 +51,25 @@ type function struct {
 // request wave register.
 const launchDebounce = 200 * time.Millisecond
 
-// noteArrival records an invocation at the current plane time. The
+// noteArrival records an invocation at the current plane time in the
+// server's striped rate map — the stripe lock replaces f.mu here, so
+// arrivals for different functions never serialize on one another. The
 // shared estimator expires arrivals older than the rate window, so the
 // first request after an idle gap no longer sees the pre-idle rate (the
 // former fixed-size arrival log never expired).
 func (f *function) noteArrival() {
 	now := f.srv.planeNow()
-	f.mu.Lock()
-	f.rate.Observe(now)
-	f.mu.Unlock()
+	f.srv.rates.Observe(f.name(), now)
 	f.srv.obs.RequestArrived(f.name(), now)
 }
 
-// demand estimates the model-time request rate for scale-out sizing.
-// Must be called with f.mu held. The gateway scales out reactively (no
-// periodic autoscaler tick), so a surge is sized by the short-horizon
-// burst rate when that exceeds the sliding-window average.
+// demand estimates the model-time request rate for scale-out sizing:
+// max(windowed estimate, short-horizon burst), floored at one RPS — the
+// gateway scales out reactively (no periodic autoscaler tick), so a
+// surge is sized by its instantaneous rate instead of being averaged
+// away. Safe with or without f.mu held; the stripe lock is the guard.
 func (f *function) demand(now time.Duration) float64 {
-	rate := f.rate.Estimate(now)
-	if b := f.rate.Burst(now); b > rate {
-		rate = b
-	}
-	if rate < 1 {
-		rate = 1 // scale-out needs nonzero demand for the first request
-	}
-	return rate
+	return f.srv.rates.Demand(f.name(), now)
 }
 
 // invocation is one in-flight request.
@@ -272,6 +265,7 @@ func (f *function) shutdown() {
 	f.closed = true
 	insts := f.pool.Clear()
 	f.mu.Unlock()
+	f.srv.rates.Remove(f.name())
 	for _, inst := range insts {
 		inst.stop()
 	}

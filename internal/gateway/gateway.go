@@ -87,6 +87,14 @@ type Server struct {
 	fns map[string]*function
 	rng *rand.Rand
 
+	// rates holds every function's arrival-rate estimator, striped by
+	// function name so concurrent invocations of different functions
+	// never meet on one lock, plus the lock-free plane-wide arrival ring
+	// behind the infless_plane_rate_rps telemetry gauge. Stripe locks nest
+	// strictly inside f.mu (noteArrival, demand); nothing acquires f.mu
+	// while holding a stripe.
+	rates *runtime.RateStripes
+
 	// clMu serializes access to cfg.Cluster: the inventory type itself is
 	// single-threaded (the simulator owns it exclusively), but gateway
 	// instances allocate and release concurrently.
@@ -132,6 +140,7 @@ func New(cfg Config) *Server {
 		col:   cfg.Collector,
 		fns:   map[string]*function{},
 		rng:   rand.New(rand.NewSource(cfg.Seed + 1)),
+		rates: runtime.NewRateStripes(cfg.RateWindow),
 	}
 	s.obs = runtime.Observers{s.col}
 	if cfg.Observer != nil {
@@ -161,6 +170,10 @@ func (s *Server) planeNow() time.Duration {
 // Telemetry returns the gateway's collector: the single source behind
 // /system/metrics in both formats, live-readable by embedding callers.
 func (s *Server) Telemetry() *telemetry.Collector { return s.col }
+
+// PlaneRate returns the gateway-wide arrival rate (RPS of model time)
+// over the rate window, aggregated lock-free across all functions.
+func (s *Server) PlaneRate() float64 { return s.rates.PlaneRate(s.planeNow()) }
 
 // PlaneNow exposes the gateway's current plane time (tests and callers
 // snapshotting the collector mid-run pass it to SnapshotAt).
@@ -284,7 +297,6 @@ func (s *Server) deploy(e core.RegistryEntry) error {
 		plan:  plan,
 		slo:   e.SLO,
 		batch: runtime.BatchPolicy{SLO: e.SLO},
-		rate:  runtime.NewRateEstimator(s.cfg.RateWindow),
 	}
 	s.mu.Lock()
 	if _, exists := s.fns[e.Name]; exists {
@@ -361,6 +373,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		w.WriteHeader(http.StatusOK)
 		_ = telemetry.WritePrometheus(w, snap)
+		// The plane-wide arrival gauge comes from the striped rate map's
+		// atomic ring, not the collector — append it to the exposition.
+		fmt.Fprintf(w, "# HELP infless_plane_rate_rps Plane-wide arrival rate over the rate window.\n")
+		fmt.Fprintf(w, "# TYPE infless_plane_rate_rps gauge\n")
+		fmt.Fprintf(w, "infless_plane_rate_rps %g\n", s.PlaneRate())
 	default:
 		httpError(w, http.StatusBadRequest, "unknown format %q (use json or prometheus)", format)
 	}

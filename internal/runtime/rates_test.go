@@ -1,0 +1,123 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRateStripesMatchesDirectEstimator(t *testing.T) {
+	rs := NewRateStripes(10 * time.Second)
+	direct := NewRateEstimator(10 * time.Second)
+	for i := 0; i < 500; i++ {
+		now := time.Duration(i) * 17 * time.Millisecond
+		rs.Observe("f", now)
+		direct.Observe(now)
+	}
+	now := 9 * time.Second
+	if got, want := rs.Estimate("f", now), direct.Estimate(now); got != want {
+		t.Fatalf("striped estimate %v != direct %v", got, want)
+	}
+	// Demand mirrors max(Estimate, Burst) with the 1-RPS floor.
+	wantD := direct.Estimate(now)
+	if b := direct.Burst(now); b > wantD {
+		wantD = b
+	}
+	if wantD < 1 {
+		wantD = 1
+	}
+	if got := rs.Demand("f", now); got != wantD {
+		t.Fatalf("Demand %v != %v", got, wantD)
+	}
+}
+
+func TestRateStripesUnknownAndRemoved(t *testing.T) {
+	rs := NewRateStripes(5 * time.Second)
+	if got := rs.Estimate("ghost", time.Second); got != 0 {
+		t.Fatalf("unknown function estimate = %v, want 0", got)
+	}
+	if got := rs.Demand("ghost", time.Second); got != 1 {
+		t.Fatalf("unknown function demand = %v, want floor 1", got)
+	}
+	rs.Observe("f", time.Second)
+	rs.Remove("f")
+	if got := rs.Estimate("f", time.Second); got != 0 {
+		t.Fatalf("removed function estimate = %v, want 0", got)
+	}
+}
+
+func TestRateStripesGetIsStable(t *testing.T) {
+	rs := NewRateStripes(5 * time.Second)
+	a, b := rs.Get("f"), rs.Get("f")
+	if a != b {
+		t.Fatal("Get returned distinct estimators for the same name")
+	}
+	a.Observe(time.Second)
+	if got := rs.Estimate("f", time.Second); got == 0 {
+		t.Fatal("observation through Get pointer invisible to striped read")
+	}
+}
+
+func TestPlaneRingAggregatesAcrossFunctions(t *testing.T) {
+	rs := NewRateStripes(10 * time.Second)
+	// 100 functions x 10 arrivals inside one window second.
+	for fn := 0; fn < 100; fn++ {
+		name := fmt.Sprintf("fn-%d", fn)
+		for i := 0; i < 10; i++ {
+			rs.Observe(name, 2*time.Second+time.Duration(i)*time.Millisecond)
+		}
+	}
+	if got := rs.PlaneTotal(); got != 1000 {
+		t.Fatalf("PlaneTotal = %d, want 1000", got)
+	}
+	// All arrivals landed in second 2; the elapsed span is one second.
+	if got := rs.PlaneRate(2 * time.Second); got != 1000 {
+		t.Fatalf("PlaneRate = %v, want 1000", got)
+	}
+}
+
+func TestPlaneRingExpiresOldBuckets(t *testing.T) {
+	rs := NewRateStripes(3 * time.Second)
+	rs.PlaneObserve(1 * time.Second)
+	rs.PlaneObserve(1 * time.Second)
+	if got := rs.PlaneRate(10 * time.Second); got != 0 {
+		t.Fatalf("PlaneRate after idle gap = %v, want 0", got)
+	}
+	if got := rs.PlaneTotal(); got != 2 {
+		t.Fatalf("PlaneTotal = %d, want 2", got)
+	}
+}
+
+// TestRateStripesConcurrent hammers the striped map and the plane ring
+// from many goroutines; correctness here is "no races, totals add up"
+// (run under -race in scripts/check.sh).
+func TestRateStripesConcurrent(t *testing.T) {
+	rs := NewRateStripes(10 * time.Second)
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := fmt.Sprintf("fn-%d", w%4)
+			for i := 0; i < per; i++ {
+				now := time.Duration(i) * time.Millisecond
+				rs.Observe(name, now)
+				_ = rs.Demand(name, now)
+				_ = rs.PlaneRate(now)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := rs.PlaneTotal(); got != workers*per {
+		t.Fatalf("PlaneTotal = %d, want %d", got, workers*per)
+	}
+	var sum float64
+	for w := 0; w < 4; w++ {
+		sum += rs.Estimate(fmt.Sprintf("fn-%d", w), 1*time.Second)
+	}
+	if sum == 0 {
+		t.Fatal("per-function estimates all zero after concurrent load")
+	}
+}

@@ -68,6 +68,18 @@ type Options struct {
 	ForceBatchOne bool
 	// MaxInstancesPerCall caps runaway scale-outs (0 = 10,000).
 	MaxInstancesPerCall int
+	// FitWorkers fans each pass-1 placement query across the cluster's
+	// shards on a bounded worker pool (cluster.FitPool); 0 or 1 queries
+	// serially, values above the shard count are clamped. Decisions are
+	// identical at any setting — the pool merges per-shard answers by the
+	// same (key, id) rule the serial path uses.
+	FitWorkers int
+	// DisablePrefixCut reverts pass 1 to the unranked full candidate walk
+	// (one placement query per candidate, as before the ranked prefix
+	// cut). Decisions are identical either way
+	// (TestPrefixCutMatchesFullWalk); the fig17s bench uses this as its
+	// pre-optimization baseline.
+	DisablePrefixCut bool
 }
 
 func (o *Options) defaults() {
@@ -101,6 +113,12 @@ type Plan struct {
 	// throughput).
 	cands map[int][]Candidate
 	order []int // batch sizes, descending
+	// ranked holds each batch size's candidates sorted by descending
+	// throughput-per-resource (sched score ties broken by cands position),
+	// powering scheduleOne's prefix cut: once the best fitting candidate
+	// is known, everything below 95% of its ratio is out of the race
+	// before any placement query runs.
+	ranked map[int][]scored
 
 	// Scratch buffers reused across scheduleOne calls (placement runs in
 	// the autoscaler's per-tick hot loop).
@@ -108,11 +126,22 @@ type Plan struct {
 	avail []Candidate
 }
 
+// scored is a plan candidate with its precomputed Eq. 10 throughput-
+// per-resource ratio and its position in the BuildPlan grid order (the
+// pass-2 tie-break).
+type scored struct {
+	c      Candidate
+	perRes float64 // Bounds.RUp / Res.Weighted()
+	idx    int
+}
+
 // fit is scheduleOne's per-candidate best-host record.
 type fit struct {
-	c     Candidate
-	srv   int
-	freeW float64
+	c      Candidate
+	srv    int
+	freeW  float64
+	perRes float64
+	idx    int
 }
 
 // BuildPlan evaluates the configuration grid for fn and keeps every
@@ -154,6 +183,17 @@ func BuildPlan(fn Function, pred Predictor, opts Options) *Plan {
 		p.order = append(p.order, b)
 	}
 	sort.Sort(sort.Reverse(sort.IntSlice(p.order)))
+	p.ranked = make(map[int][]scored, len(p.cands))
+	for b, cs := range p.cands {
+		rs := make([]scored, len(cs))
+		for i, c := range cs {
+			// The exact expression pass 2 normalizes by; precomputing it
+			// changes no bits.
+			rs[i] = scored{c: c, perRes: c.Bounds.RUp / c.Res.Weighted(), idx: i}
+		}
+		sort.SliceStable(rs, func(a, b int) bool { return rs[a].perRes > rs[b].perRes })
+		p.ranked[b] = rs
+	}
 	return p
 }
 
@@ -172,10 +212,17 @@ func (p *Plan) BatchSizes() []int { return append([]int(nil), p.order...) }
 // Schedule implements Algorithm 1: it places instances for residual load
 // rps on cl, allocating cluster resources as it goes, and returns the
 // decisions plus any load that could not be placed (cluster exhausted).
+//
+// With Options.FitWorkers > 1 the placement queries inside each
+// scheduleOne fan across the cluster's shards on a bounded worker pool;
+// the pool lives for the duration of this call. The fan-out changes
+// wall-clock only, never decisions (TestShardedFitWorkersEquivalence).
 func (p *Plan) Schedule(rps float64, cl *cluster.Cluster) (placed []Decision, residual float64) {
+	pool := cl.NewFitPool(p.opts.FitWorkers)
+	defer pool.Close()
 	residual = rps
 	for residual > 0 && len(placed) < p.opts.MaxInstancesPerCall {
-		d, ok := p.scheduleOne(residual, cl)
+		d, ok := p.scheduleOne(residual, pool)
 		if !ok {
 			break
 		}
@@ -195,20 +242,32 @@ func (p *Plan) Schedule(rps float64, cl *cluster.Cluster) (placed []Decision, re
 // scheduleOne performs one iteration of Algorithm 1's outer loop: find
 // the best (candidate, server) pair for the current residual RPS.
 //
-// Placement queries go through the cluster's free-capacity index
-// (cluster.BestFit / cluster.FirstFit): an O(log n) lower-bound search
-// per candidate instead of a scan over every server, which is what keeps
-// one autoscaling tick sub-millisecond on the 2,000-server cluster
-// (Figure 17a). The index answers exactly the query the old linear scan
-// did — least free weighted capacity among fitting servers, lowest id on
-// ties — so decisions are bit-identical (see TestIndexedMatchesLinearScan).
-func (p *Plan) scheduleOne(rps float64, cl *cluster.Cluster) (Decision, bool) {
+// Placement queries go through the cluster's sharded free-capacity
+// indexes (pool.BestFit / pool.FirstFit): an O(log n/shards) lower-bound
+// search per candidate instead of a scan over every server, which is
+// what keeps one autoscaling tick sub-millisecond even on a 100k-server
+// cluster (Figure 17a). The indexes answer exactly the query the old
+// linear scan did — least free weighted capacity among fitting servers,
+// lowest id on ties — so decisions are bit-identical (see
+// TestIndexedMatchesLinearScan).
+//
+// Pass 1 walks the batch size's candidates in descending throughput-
+// per-resource order (Plan.ranked). The first candidate that fits
+// anywhere fixes pass 2's normalization ceiling — nothing later in the
+// order can beat it — so the walk stops at the 95% score cut instead of
+// querying a placement for all ~40 grid configurations: typically 1-5
+// queries per decision. The cut uses the same float expression as the
+// old pass-2 filter, so exactly the candidates it would have discarded
+// are skipped.
+func (p *Plan) scheduleOne(rps float64, pool *cluster.FitPool) (Decision, bool) {
 	memMB := p.Fn.Model.MemoryMB
+	if p.opts.DisableRS {
+		return p.scheduleOneNoRS(rps, pool)
+	}
+	if p.opts.DisablePrefixCut {
+		return p.scheduleOneFullWalk(rps, pool)
+	}
 	for _, b := range p.order {
-		ib := p.available(b, rps)
-		if len(ib) == 0 {
-			continue // try next largest batch size
-		}
 		// The numerator uses each candidate's full r_up, as in Eq. 10.
 		// (Capping it by the residual demand was tried and rejected: it
 		// biases tail scale-outs toward minuscule 1-core instances whose
@@ -216,28 +275,29 @@ func (p *Plan) scheduleOne(rps float64, cl *cluster.Cluster) (Decision, bool) {
 		// SLO. Over-provisioning on the *last* instance of a scale-out is
 		// bounded by one instance and self-corrects at the next tick via
 		// the alpha rate controller.)
-		usable := func(c Candidate) float64 { return c.Bounds.RUp }
-		// Pass 1: for every candidate that still fits somewhere, find its
-		// best host — the fullest fitting server (which maximizes e_ij for
-		// that candidate) or the first fitting one for the RS ablation.
+		//
+		// Pass 1: walk candidates by descending r_up-per-resource, keeping
+		// each one's best host — the fullest fitting server, which
+		// maximizes e_ij for that candidate.
 		fits := p.fits[:0]
 		maxPerRes := 0.0
-		for _, c := range ib {
-			var srv int
-			var freeW float64
-			var ok bool
-			if p.opts.DisableRS {
-				srv, freeW, ok = cl.FirstFit(c.Res, memMB)
-			} else {
-				srv, freeW, ok = cl.BestFit(c.Res, memMB)
+		for _, sc := range p.ranked[b] {
+			if b != 1 && rps < sc.c.Bounds.RLow {
+				continue // Algorithm 1's AvailableConfig rate filter
 			}
+			if maxPerRes > 0 && sc.perRes/maxPerRes < 0.95 {
+				// Same expression as the score filter below; the ranking is
+				// monotone in perRes, so every later candidate fails it too.
+				break
+			}
+			srv, freeW, ok := pool.BestFit(sc.c.Res, memMB)
 			if !ok {
 				continue
 			}
-			fits = append(fits, fit{c: c, srv: srv, freeW: freeW})
-			if v := usable(c) / c.Res.Weighted(); v > maxPerRes {
-				maxPerRes = v
+			if maxPerRes == 0 {
+				maxPerRes = sc.perRes // best fitting ratio: first fit in rank order
 			}
+			fits = append(fits, fit{c: sc.c, srv: srv, freeW: freeW, perRes: sc.perRes, idx: sc.idx})
 		}
 		p.fits = fits // keep any capacity growth for the next call
 		if len(fits) == 0 {
@@ -250,18 +310,99 @@ func (p *Plan) scheduleOne(rps float64, cl *cluster.Cluster) (Decision, bool) {
 		// ratio are never worth their fragmentation savings (1/frag is
 		// unbounded, so without this cut a server-filling whale config
 		// would always win). Fragmentation breaks near-ties among
-		// candidates within 5% of the best ratio.
+		// candidates within 5% of the best ratio. Scoring runs in grid
+		// order — the order the pre-cut code used — so score ties keep
+		// resolving to the same candidate.
+		sort.Slice(fits, func(a, b int) bool { return fits[a].idx < fits[b].idx })
 		var best Decision
 		bestE := math.Inf(-1)
 		for _, f := range fits {
-			w := f.c.Res.Weighted()
-			num := (usable(f.c) / w) / maxPerRes
-			if num < 0.95 && !p.opts.DisableRS {
-				// The RS ablation ignores resource efficiency entirely and
-				// chases raw throughput, so it skips this filter too.
+			num := f.perRes / maxPerRes
+			e := efficiency(num, f.c.Res.Weighted(), f.freeW, false, f.c.Bounds.RUp)
+			if e > bestE {
+				bestE = e
+				best = Decision{Server: f.srv, Candidate: f.c}
+			}
+		}
+		return best, true
+	}
+	return Decision{}, false
+}
+
+// scheduleOneFullWalk is the pre-prefix-cut pass 1 kept as a measurable
+// baseline (Options.DisablePrefixCut): query a placement for every
+// available candidate, track the best fitting throughput-per-resource
+// ratio, then score with the 95% filter in pass 2. Same decisions as the
+// ranked walk, ~an order of magnitude more placement queries.
+func (p *Plan) scheduleOneFullWalk(rps float64, pool *cluster.FitPool) (Decision, bool) {
+	memMB := p.Fn.Model.MemoryMB
+	for _, b := range p.order {
+		ib := p.available(b, rps)
+		if len(ib) == 0 {
+			continue
+		}
+		fits := p.fits[:0]
+		maxPerRes := 0.0
+		for _, c := range ib {
+			srv, freeW, ok := pool.BestFit(c.Res, memMB)
+			if !ok {
 				continue
 			}
-			e := efficiency(num, w, f.freeW, p.opts.DisableRS, f.c.Bounds.RUp)
+			perRes := c.Bounds.RUp / c.Res.Weighted()
+			fits = append(fits, fit{c: c, srv: srv, freeW: freeW, perRes: perRes})
+			if perRes > maxPerRes {
+				maxPerRes = perRes
+			}
+		}
+		p.fits = fits
+		if len(fits) == 0 {
+			continue
+		}
+		var best Decision
+		bestE := math.Inf(-1)
+		for _, f := range fits {
+			num := f.perRes / maxPerRes
+			if num < 0.95 {
+				continue
+			}
+			e := efficiency(num, f.c.Res.Weighted(), f.freeW, false, f.c.Bounds.RUp)
+			if e > bestE {
+				bestE = e
+				best = Decision{Server: f.srv, Candidate: f.c}
+			}
+		}
+		return best, true
+	}
+	return Decision{}, false
+}
+
+// scheduleOneNoRS is the Figure 11 RS-ablation path: ignore resource
+// efficiency, chase raw throughput, place first-fit. It keeps the full
+// two-pass walk over every candidate — the ablation ranks by r_up, so
+// the throughput-per-resource prefix cut does not apply.
+func (p *Plan) scheduleOneNoRS(rps float64, pool *cluster.FitPool) (Decision, bool) {
+	memMB := p.Fn.Model.MemoryMB
+	for _, b := range p.order {
+		ib := p.available(b, rps)
+		if len(ib) == 0 {
+			continue
+		}
+		fits := p.fits[:0]
+		for _, c := range ib {
+			srv, freeW, ok := pool.FirstFit(c.Res, memMB)
+			if !ok {
+				continue
+			}
+			fits = append(fits, fit{c: c, srv: srv, freeW: freeW})
+		}
+		p.fits = fits
+		if len(fits) == 0 {
+			continue
+		}
+		var best Decision
+		bestE := math.Inf(-1)
+		for _, f := range fits {
+			e := efficiency(0, 0, f.freeW, true, f.c.Bounds.RUp)
 			if e > bestE {
 				bestE = e
 				best = Decision{Server: f.srv, Candidate: f.c}

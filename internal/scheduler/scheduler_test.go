@@ -297,10 +297,11 @@ func TestPropertyScheduleSound(t *testing.T) {
 func BenchmarkScheduleOneInstance(b *testing.B) {
 	p := BuildPlan(resnetFn(), testPred, Options{})
 	cl := cluster.LargeScale()
+	pool := cl.NewFitPool(1)
 	b.ResetTimer()
 	placed := 0
 	for i := 0; i < b.N; i++ {
-		d, ok := p.scheduleOne(100, cl)
+		d, ok := p.scheduleOne(100, pool)
 		if !ok {
 			b.Fatal("cluster exhausted during benchmark")
 		}
@@ -308,6 +309,7 @@ func BenchmarkScheduleOneInstance(b *testing.B) {
 		placed++
 		if placed%5000 == 0 { // keep the cluster from filling up
 			cl = cluster.LargeScale()
+			pool = cl.NewFitPool(1)
 		}
 		if err := cl.Allocate(d.Server, d.Res, 0); err != nil {
 			b.Fatal(err)

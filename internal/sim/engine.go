@@ -105,6 +105,12 @@ type Engine struct {
 	// supplied one); every reported statistic — Report quantiles,
 	// resource integrals, provisioning series — reads from it.
 	collector *telemetry.Collector
+	// rates owns every function's arrival-rate estimator (striped by
+	// function name) plus the lock-free plane-wide arrival ring behind
+	// PlaneRate. The single-threaded event loop holds direct estimator
+	// pointers (FunctionState.rate) and feeds the plane ring separately,
+	// so the per-arrival cost stays one ring-bucket update.
+	rates *runtime.RateStripes
 }
 
 // New creates an engine for the controller and configuration.
@@ -116,6 +122,7 @@ func New(ctrl Controller, cfg Config) *Engine {
 		clock:  simclock.New(),
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
 		byName: map[string]*FunctionState{},
+		rates:  runtime.NewRateStripes(cfg.RateWindow),
 	}
 	e.collector = cfg.Collector
 	if e.collector == nil {
@@ -153,7 +160,7 @@ func (e *Engine) AddFunction(spec FunctionSpec) *FunctionState {
 		BatchServed: map[int]uint64{},
 		ConfigCount: map[string]int{},
 		batch:       runtime.BatchPolicy{SLO: spec.SLO},
-		rate:        runtime.NewRateEstimator(e.cfg.RateWindow),
+		rate:        e.rates.Get(spec.Name),
 	}
 	e.collector.Register(spec.Name, spec.SLO)
 	e.fns = append(e.fns, f)
@@ -169,6 +176,11 @@ func (e *Engine) Cluster() *cluster.Cluster { return e.cfg.Cluster }
 
 // Now returns current virtual time.
 func (e *Engine) Now() time.Duration { return e.clock.Now() }
+
+// PlaneRate returns the plane-wide arrival rate (RPS) over the rate
+// window, aggregated lock-free across all functions — the telemetry
+// headline number, never a scheduling input.
+func (e *Engine) PlaneRate() float64 { return e.rates.PlaneRate(e.clock.Now()) }
 
 // Rng returns the engine's deterministic random source.
 func (e *Engine) Rng() *rand.Rand { return e.rng }

@@ -23,6 +23,7 @@ func (e *Engine) onArrival(f *FunctionState) {
 func (e *Engine) inject(f *FunctionState, req *Request) {
 	now := e.clock.Now()
 	f.rate.Observe(now)
+	e.rates.PlaneObserve(now)
 	e.obs.RequestArrived(f.Spec.Name, now)
 	if f.haveArrival && f.Policy != nil {
 		f.Policy.RecordIdle(now-f.lastArrival, now)

@@ -1,8 +1,11 @@
 #!/bin/sh
 # scripts/check.sh is the tier-1 gate: formatting, build + vet, full
 # test suite, a race pass over the concurrently-exercised packages (the
-# shared internal/runtime policies and the wall-clock gateway that calls
-# them from many goroutines), and infless-lint — the AST/types-based
+# shared internal/runtime policies, the wall-clock gateway that calls
+# them from many goroutines, and the sharded cluster + scheduler whose
+# FitPool fans fit-queries across workers), a sharded-equivalence smoke
+# (every Schedule decision bit-identical to the single-shard reference),
+# and infless-lint — the AST/types-based
 # analyzer suite (cmd/infless-lint) that replaced the old grep guards:
 # it keeps the lifecycle policies single-sourced, the deterministic
 # packages off the wall clock, placement on the free-capacity index,
@@ -29,7 +32,11 @@ echo "== go test"
 go test ./...
 echo "== go test -race (gateway + runtime + telemetry + sim)"
 go test -race ./internal/gateway/... ./internal/runtime/... ./internal/telemetry/... ./internal/sim/...
+echo "== go test -race (sharded control plane: cluster + scheduler)"
+go test -race -short ./internal/cluster/ ./internal/scheduler/
 echo "== go test -race (parallel experiment runner)"
 go test -race -short -run 'TestRunStreamOrdered|TestParallelForCoversAllIndices|TestParallelAllDeterministic' ./internal/bench/
+echo "== sharded-equivalence smoke"
+go test -short -run 'Sharded|ShardEdge|ShardBounds|ShardMemory|ShardRange|ShardWholeShard|PrefixCut' ./internal/cluster/ ./internal/scheduler/
 
 echo "OK"

@@ -51,6 +51,10 @@ func (o Options) Validate() error {
 		return &FieldError{"Options.Servers", o.Servers,
 			"cluster size must be positive (0 = default 8)"}
 	}
+	if o.Shards < 0 {
+		return &FieldError{"Options.Shards", o.Shards,
+			"shard count must be positive (0 = default 1)"}
+	}
 	if o.PredictionInflate < 0 {
 		return &FieldError{"Options.PredictionInflate", o.PredictionInflate,
 			"inflation factor must be >= 0 (0 = disabled)"}
