@@ -38,6 +38,7 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "print result tables as JSON (overrides -format)")
 		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for experiments and sweep points (1 = serial)")
 		shards     = flag.Int("shards", 1, "control-plane shard count for cluster-building experiments (tables are identical at any count)")
+		storage    = flag.String("storage", "off", "artifact storage profile for scenario experiments: off | tiered | preload")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -59,7 +60,7 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	opts := bench.Options{Quick: !*full, Seed: *seed, Parallel: *parallel, Shards: *shards}
+	opts := bench.Options{Quick: !*full, Seed: *seed, Parallel: *parallel, Shards: *shards, Storage: *storage}
 	emit := func(r bench.RunResult) {
 		table := r.Table
 		switch {

@@ -20,6 +20,7 @@ import (
 	"os/signal"
 	"time"
 
+	"github.com/tanklab/infless/internal/artifact"
 	"github.com/tanklab/infless/internal/cluster"
 	"github.com/tanklab/infless/internal/gateway"
 	"github.com/tanklab/infless/internal/telemetry"
@@ -34,6 +35,7 @@ func main() {
 		idle     = flag.Duration("idle", 60*time.Second, "instance idle reclaim timeout")
 		seed     = flag.Int64("seed", 1, "random seed for execution noise")
 		traceOut = flag.String("trace", "", "write per-request lifecycle events as JSONL to this file (- for stderr)")
+		storage  = flag.String("storage", "off", "artifact storage profile: off | tiered | preload")
 	)
 	flag.Parse()
 
@@ -42,6 +44,11 @@ func main() {
 		SpeedFactor: *speed,
 		IdleTimeout: *idle,
 		Seed:        *seed,
+	}
+	if st, err := artifact.Profile(*storage); err != nil {
+		log.Fatal("infless-gateway: ", err)
+	} else if st.Enabled {
+		cfg.Storage = &st
 	}
 	if *traceOut == "-" {
 		cfg.Observer = telemetry.NewTraceWriter(os.Stderr)

@@ -36,6 +36,7 @@ func main() {
 		models   = flag.Bool("models", false, "list the model zoo and exit")
 		jsonOut  = flag.Bool("json", false, "print the report as JSON instead of the summary table")
 		traceOut = flag.String("trace", "", "write per-request lifecycle events as JSONL to this file (- for stderr)")
+		storage  = flag.String("storage", "off", "artifact storage profile: off | tiered | preload")
 	)
 	flag.Parse()
 
@@ -51,6 +52,15 @@ func main() {
 		Servers: *servers,
 		Shards:  *shards,
 		Seed:    *seed,
+	}
+	switch *storage {
+	case "", "off":
+	case "tiered":
+		opts.Storage = infless.StorageOptions{Enabled: true}
+	case "preload":
+		opts.Storage = infless.StorageOptions{Enabled: true, Preload: true}
+	default:
+		check(fmt.Errorf("unknown storage profile %q (want off, tiered or preload)", *storage))
 	}
 	var traceFile *os.File
 	if *traceOut == "-" {

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/tanklab/infless/internal/artifact"
 	"github.com/tanklab/infless/internal/baselines"
 	"github.com/tanklab/infless/internal/cluster"
 	"github.com/tanklab/infless/internal/coldstart"
@@ -72,6 +73,92 @@ type Options struct {
 	// window, provisioning-series sampling (Figure 14) and the optional
 	// per-request trace stream. See Platform.Telemetry for the live API.
 	Telemetry TelemetryOptions
+	// Storage configures multi-tier artifact loading. The zero value
+	// keeps the paper's scalar cold-start model (900 ms boot + checkpoint
+	// load from local SSD at 220 MB/s) with behavior bit-identical to
+	// platforms built before tiering existed; set Enabled for the tiered
+	// hierarchy.
+	Storage StorageOptions
+}
+
+// StorageOptions configure the multi-tier storage hierarchy behind cold
+// starts: per-tier load bandwidths, per-server cache capacities, and
+// opportunistic pre-loading. All zero fields resolve to the Default*
+// constants in internal/artifact (remote 60 MB/s + 100 ms, SSD 220 MB/s,
+// DRAM 2 GB/s, device 20 GB/s; 512 GB SSD and 48 GB DRAM cache per
+// server).
+type StorageOptions struct {
+	// Enabled turns tiering on; when false every other field is ignored
+	// and the platform runs the legacy scalar formula.
+	Enabled bool
+	// Per-tier sustained read bandwidths in MB/s (0 = default).
+	RemoteMBps float64
+	SSDMBps    float64
+	DRAMMBps   float64
+	DeviceMBps float64
+	// RemoteLatency is the fixed per-load latency of registry pulls
+	// (0 = default 100ms).
+	RemoteLatency time.Duration
+	// Per-server artifact-cache capacities in MB (0 = default).
+	SSDCacheMB  int64
+	DRAMCacheMB int64
+	// Preload enables opportunistic pre-loading: reclaim events park
+	// other functions' artifacts in the freed server's spare DRAM.
+	Preload bool
+}
+
+// config lowers the facade options onto the internal artifact model;
+// nil when tiering is disabled (the engine's legacy path).
+func (s StorageOptions) config() *artifact.Config {
+	if !s.Enabled {
+		return nil
+	}
+	c := artifact.DefaultConfig()
+	set := func(t artifact.Tier, mbps float64) {
+		if mbps != 0 {
+			c.Hierarchy.Tiers[t].BandwidthMBps = mbps
+		}
+	}
+	set(artifact.TierRemote, s.RemoteMBps)
+	set(artifact.TierSSD, s.SSDMBps)
+	set(artifact.TierDRAM, s.DRAMMBps)
+	set(artifact.TierDevice, s.DeviceMBps)
+	if s.RemoteLatency != 0 {
+		c.Hierarchy.Tiers[artifact.TierRemote].Latency = s.RemoteLatency
+	}
+	if s.SSDCacheMB != 0 {
+		c.CacheMB[artifact.TierSSD] = s.SSDCacheMB
+	}
+	if s.DRAMCacheMB != 0 {
+		c.CacheMB[artifact.TierDRAM] = s.DRAMCacheMB
+	}
+	c.Preload = s.Preload
+	return &c
+}
+
+// ArtifactSpec describes a function's checkpoint for tiered storage
+// (ignored unless Options.Storage is enabled). The zero value means
+// "the model's memory footprint, resident on every server's SSD" —
+// exactly the legacy formula's assumption.
+type ArtifactSpec struct {
+	// SizeMB is the checkpoint size (0 = the model's memory footprint).
+	SizeMB int
+	// InitialTier is where the checkpoint starts: "remote", "ssd" or
+	// "dram" ("" = ssd).
+	InitialTier string
+}
+
+// spec lowers the facade artifact declaration onto the internal model.
+// Only called after validate, so the tier name always parses.
+func (a ArtifactSpec) spec() artifact.Spec {
+	if a == (ArtifactSpec{}) {
+		return artifact.Spec{} // sim defaults: model footprint on SSD
+	}
+	tier := artifact.TierSSD
+	if a.InitialTier != "" {
+		tier, _ = artifact.ParseTier(a.InitialTier)
+	}
+	return artifact.Spec{SizeMB: a.SizeMB, Initial: tier}
 }
 
 // Traffic declares the request load of one function.
@@ -92,6 +179,9 @@ type FunctionConfig struct {
 	SLO      time.Duration
 	MaxBatch int // 0 = model default (32)
 	Traffic  Traffic
+	// Artifact describes the function's checkpoint for tiered storage;
+	// the zero value reproduces the legacy cold-start assumption.
+	Artifact ArtifactSpec
 
 	// chain wiring, set by DeployChain.
 	forwardTo string
@@ -191,6 +281,7 @@ func (p *Platform) Run(duration time.Duration) (*Report, error) {
 		Seed:      p.opts.Seed,
 		Duration:  duration,
 		Collector: p.col,
+		Storage:   p.opts.Storage.config(),
 	})
 	if p.opts.Telemetry.Trace != nil {
 		e.Observe(telemetry.NewTraceWriter(p.opts.Telemetry.Trace))
@@ -203,6 +294,7 @@ func (p *Platform) Run(duration time.Duration) (*Report, error) {
 			MaxBatch:  cfg.MaxBatch,
 			ForwardTo: cfg.forwardTo,
 			ChainSLO:  cfg.chainSLO,
+			Artifact:  cfg.Artifact.spec(),
 		}
 		if !cfg.noTrace {
 			tr, err := p.traceFor(cfg, duration)

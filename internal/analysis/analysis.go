@@ -112,6 +112,7 @@ func inScope(pkgPath string, scopes []string) bool {
 // simulated machines, so any wall-clock read or unordered iteration here
 // silently breaks -parallel N == -parallel 1.
 var deterministicScopes = []string{
+	"internal/artifact",
 	"internal/sim",
 	"internal/simclock",
 	"internal/scheduler",

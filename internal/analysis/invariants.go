@@ -89,6 +89,16 @@ var SingleDefs = []SingleDef{
 		"one striped rate map serves the simulator and the gateway"},
 	{KindType, "", "planeRing", "internal/runtime/rates.go",
 		"the lock-free plane-wide arrival aggregate has one implementation"},
+	{KindFunc, "", "Legacy", "internal/artifact/artifact.go",
+		"the scalar 900ms+MB/220MBps cold-start formula has one home; perf and the gateway call it"},
+	{KindType, "", "Hierarchy", "internal/artifact/artifact.go",
+		"the per-tier bandwidth/latency model is defined once, next to its tier enum"},
+	{KindType, "", "Cache", "internal/artifact/cache.go",
+		"one deterministic per-server artifact LRU serves the simulator and the gateway"},
+	{KindType, "", "ArtifactQuery", "internal/cluster/shard.go",
+		"the startup-aware placement view is defined once, next to the shard merge it extends"},
+	{KindMethod, "Cluster", "BestFitShardsArtifact", "internal/cluster/shard.go",
+		"the startup-tie-break shard merge has one implementation, mirroring BestFitShards"},
 }
 
 // ForbiddenDecls is the production forbidden-declaration table.
@@ -107,4 +117,8 @@ var ForbiddenDecls = []ForbiddenDecl{
 		"rate striping is internal/runtime's concern; planes hold a RateStripes"},
 	{KindType, "planeRing", "internal/runtime",
 		"plane-wide rate aggregation has one lock-free implementation"},
+	{KindType, "artifactCache", "internal/artifact",
+		"artifact residency tracking has one implementation; planes hold an artifact.Cache"},
+	{KindType, "tierSpec", "internal/artifact",
+		"per-tier bandwidth/latency tables live in internal/artifact only"},
 }

@@ -32,6 +32,11 @@ type Options struct {
 	// decisions, so tables stay byte-identical at any setting — fig17s
 	// sweeps this axis explicitly to measure the wall-clock effect.
 	Shards int
+	// Storage is an artifact-storage profile name ("off", "tiered",
+	// "preload"; see artifact.Profile) applied to scenario-running
+	// experiments. Empty or "off" keeps the legacy scalar cold-start
+	// model and byte-identical tables.
+	Storage string
 }
 
 func (o *Options) defaults() {
@@ -193,6 +198,7 @@ func All() []Experiment {
 		{ID: "fig14", Desc: "Resource provisioning over time", Run: Fig14},
 		{ID: "fig15", Desc: "SLO violations and latency breakdown", Run: Fig15},
 		{ID: "fig16", Desc: "Cold-start rate: LSTH vs HHP vs fixed", Run: Fig16},
+		{ID: "fig16t", Desc: "Cold-start 2.0: LSTH vs tiering vs tiering+pre-loading", Run: Fig16T},
 		{ID: "fig17a", Desc: "Scheduling overhead at scale", Run: Fig17a, WallClock: true},
 		{ID: "fig17s", Desc: "Scheduling overhead: servers x shards sweep", Run: Fig17s, WallClock: true},
 		{ID: "fig17b", Desc: "Resource fragmentation at scale", Run: Fig17b},

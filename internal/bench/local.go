@@ -9,6 +9,7 @@ import (
 	"math/rand"
 	"time"
 
+	"github.com/tanklab/infless/internal/artifact"
 	"github.com/tanklab/infless/internal/baselines"
 	"github.com/tanklab/infless/internal/cluster"
 	"github.com/tanklab/infless/internal/coldstart"
@@ -79,6 +80,15 @@ func runScenario(system string, fns []fnSpec, pattern string, dur time.Duration,
 	}
 	if cfg.Seed == 0 {
 		cfg.Seed = opts.Seed
+	}
+	if cfg.Storage == nil && opts.Storage != "" {
+		st, err := artifact.Profile(opts.Storage)
+		if err != nil {
+			panic(err)
+		}
+		if st.Enabled {
+			cfg.Storage = &st
+		}
 	}
 	e := sim.New(controllerFor(system), cfg)
 	for i, fn := range fns {
@@ -465,6 +475,98 @@ func Fig16(opts Options) *Table {
 		t.Note("paper: LSTH reduces cold-start rate by 21.9%% vs HHP (measured above via meanCold) and idle waste by 24.3%%")
 		t.Note("waste here is the per-invocation policy replay; the system-level resource-waste reduction shows up as provisioning area in fig14")
 	}
+	return t
+}
+
+// Fig16T replays the Figure 16-style traces against the tier-aware
+// cold-start stack: plain LSTH (the legacy SSD-resting shape), LSTH
+// with multi-tier demotion (keep-alive shortened to the blended median,
+// artifact paused in DRAM through the distribution's tail), and tiering
+// plus InstaInfer-style opportunistic pre-loading. Waste is the
+// warm-instance-equivalent resident time (DRAM pauses charged at a
+// fraction of a warm instance); startup is the mean start delay over
+// all invocations.
+func Fig16T(opts Options) *Table {
+	opts.defaults()
+	days := 3
+	if opts.Quick {
+		days = 2
+	}
+	t := &Table{ID: "fig16t", Title: "Cold-start 2.0: LSTH vs tiering vs tiering+pre-loading",
+		Cols: []string{"sporadic", "periodic", "bursty", "meanCold", "meanWaste.s", "meanStartup.ms"}}
+
+	// The same trace generator shape as fig16: multi-hour regime
+	// alternation with lognormal gap dispersion and short-term bursts.
+	gen := func(seed int64, denseMed, sparseMed time.Duration, sigma float64, burst bool) []time.Duration {
+		rng := rand.New(rand.NewSource(seed))
+		var arrivals []time.Duration
+		now := time.Duration(0)
+		for now < time.Duration(days)*24*time.Hour {
+			var med time.Duration
+			if int(now/(6*time.Hour))%2 == 0 {
+				med = denseMed
+			} else {
+				med = sparseMed
+			}
+			gap := time.Duration(float64(med) * math.Exp(rng.NormFloat64()*sigma))
+			if burst && rng.Intn(100) == 0 {
+				for i := 0; i < 20; i++ {
+					now += time.Duration(rng.Intn(2000)) * time.Millisecond
+					arrivals = append(arrivals, now)
+				}
+			}
+			now += gap
+			arrivals = append(arrivals, now)
+		}
+		return arrivals
+	}
+	arrivalSets := map[string][]time.Duration{
+		"sporadic": gen(opts.Seed, 2*time.Minute, 15*time.Minute, 1.0, true),
+		"periodic": gen(opts.Seed+1, 30*time.Second, 5*time.Minute, 0.7, false),
+		"bursty":   gen(opts.Seed+2, 30*time.Second, 5*time.Minute, 0.7, true),
+	}
+	h := artifact.Default()
+	const checkpointMB = 2048
+	type variant struct {
+		name    string
+		policy  func() coldstart.TierPolicy
+		preload bool
+	}
+	variants := []variant{
+		{"lsth", func() coldstart.TierPolicy {
+			return coldstart.LegacyTier(coldstart.NewLSTH(coldstart.LSTHOptions{}))
+		}, false},
+		{"lsth+tier", func() coldstart.TierPolicy {
+			return coldstart.NewLSTH(coldstart.LSTHOptions{})
+		}, false},
+		{"lsth+tier+preload", func() coldstart.TierPolicy {
+			return coldstart.NewLSTH(coldstart.LSTHOptions{})
+		}, true},
+	}
+	type tierRow struct{ cells []string }
+	rows := make([]tierRow, len(variants))
+	opts.parallelFor(len(variants), func(i int) {
+		v := variants[i]
+		var cells []string
+		var coldSum, wasteSum, startSum float64
+		for _, pattern := range []string{"sporadic", "periodic", "bursty"} {
+			r := coldstart.EvaluateTiered(v.policy(), h, checkpointMB, v.preload, arrivalSets[pattern])
+			cells = append(cells, pct(r.ColdRate()))
+			coldSum += r.ColdRate()
+			wasteSum += (r.Wasted() / time.Duration(r.Invocations)).Seconds()
+			startSum += float64(r.MeanStartup()) / float64(time.Millisecond)
+		}
+		cells = append(cells,
+			pct(coldSum/3),
+			fmt.Sprintf("%.1f", wasteSum/3),
+			fmt.Sprintf("%.0f", startSum/3))
+		rows[i] = tierRow{cells: cells}
+	})
+	for i, v := range variants {
+		t.AddRow(v.name, rows[i].cells...)
+	}
+	t.Note("tiered LSTH holds instances fully warm only to the blended median and parks artifacts in DRAM through the tail")
+	t.Note("pre-loading covers post-pause arrivals from a warm peer's borrowed memory at DRAM-resume cost, no waste charge")
 	return t
 }
 

@@ -18,6 +18,7 @@ package cluster
 import (
 	"fmt"
 
+	"github.com/tanklab/infless/internal/artifact"
 	"github.com/tanklab/infless/internal/perf"
 )
 
@@ -30,7 +31,17 @@ type Server struct {
 	MemFreeMB int
 	allocs    int
 	down      bool
+	// art is the server's artifact cache (which model checkpoints are
+	// resident at which storage tier). It is nil unless the cluster was
+	// built with multi-tier artifact loading enabled — the nil state is
+	// the legacy scalar cold-start model and must stay behaviorally
+	// identical to the pre-artifact tree.
+	art *artifact.Cache
 }
+
+// Artifacts returns the server's artifact cache, or nil when multi-tier
+// loading is disabled.
+func (s *Server) Artifacts() *artifact.Cache { return s.art }
 
 // Down reports whether the server is marked failed; failed servers accept
 // no new allocations (existing bookkeeping is the owner's to clean up).
@@ -153,6 +164,38 @@ func (c *Cluster) init(shards int) {
 			sh.totalFree = sh.totalFree.Add(s.Free)
 		}
 		sh.index.build(c.servers[sh.lo:sh.hi], sh.lo)
+	}
+}
+
+// EnableArtifacts gives every server an artifact cache with the given
+// per-tier capacities, turning on the multi-tier cold-start model for
+// this cluster. It is idempotent per server (existing caches are kept)
+// and is called once at engine construction, never concurrently with
+// placement queries.
+func (c *Cluster) EnableArtifacts(capMB [artifact.NumTiers]int64) {
+	for _, s := range c.servers {
+		if s.art == nil {
+			s.art = artifact.NewCache(capMB)
+		}
+	}
+}
+
+// ArtifactsEnabled reports whether the servers carry artifact caches.
+func (c *Cluster) ArtifactsEnabled() bool {
+	return len(c.servers) > 0 && c.servers[0].art != nil
+}
+
+// SeedArtifact makes the named artifact resident at the given tier on
+// every server (e.g. checkpoints pre-pulled to local SSD at deploy
+// time). Seeding to TierRemote is a no-op: remote is the miss state.
+func (c *Cluster) SeedArtifact(name string, sizeMB int, tier artifact.Tier) {
+	if tier == artifact.TierRemote {
+		return
+	}
+	for _, s := range c.servers {
+		if s.art != nil {
+			s.art.Put(name, sizeMB, tier)
+		}
 	}
 }
 

@@ -14,6 +14,7 @@ package cluster
 
 import (
 	"sync"
+	"time"
 
 	"github.com/tanklab/infless/internal/perf"
 )
@@ -34,9 +35,10 @@ type FitPool struct {
 }
 
 type fitAnswer struct {
-	id    int
-	freeW float64
-	ok    bool
+	id      int
+	freeW   float64
+	startup time.Duration // meaningful only for artifact-aware queries
+	ok      bool
 }
 
 type fitJob struct {
@@ -44,6 +46,7 @@ type fitJob struct {
 	res      perf.Resources
 	memMB    int
 	firstFit bool
+	art      *ArtifactQuery // nil for plain best/first-fit
 }
 
 // NewFitPool creates a pool with the given number of workers, clamped to
@@ -85,9 +88,12 @@ func (p *FitPool) worker() {
 	for j := range p.jobs {
 		a := &p.answers[j.slot]
 		from, to := p.chunks[j.slot][0], p.chunks[j.slot][1]
-		if j.firstFit {
+		switch {
+		case j.firstFit:
 			a.id, a.freeW, a.ok = p.c.FirstFitShards(from, to, j.res, j.memMB)
-		} else {
+		case j.art != nil:
+			a.id, a.freeW, a.startup, a.ok = p.c.BestFitShardsArtifact(from, to, j.res, j.memMB, j.art)
+		default:
 			a.id, a.freeW, a.ok = p.c.BestFitShards(from, to, j.res, j.memMB)
 		}
 		p.wg.Done()
@@ -96,13 +102,13 @@ func (p *FitPool) worker() {
 
 // query fans one placement query across the chunks and merges. The
 // wg.Wait happens-before edge makes the answers slots safe to read.
-func (p *FitPool) query(res perf.Resources, memMB int, firstFit bool) (int, float64, bool) {
+func (p *FitPool) query(res perf.Resources, memMB int, firstFit bool, art *ArtifactQuery) (int, float64, time.Duration, bool) {
 	p.wg.Add(len(p.chunks))
 	for i := range p.chunks {
-		p.jobs <- fitJob{slot: i, res: res, memMB: memMB, firstFit: firstFit}
+		p.jobs <- fitJob{slot: i, res: res, memMB: memMB, firstFit: firstFit, art: art}
 	}
 	p.wg.Wait()
-	id, freeW, ok := -1, 0.0, false
+	id, freeW, startup, ok := -1, 0.0, time.Duration(0), false
 	for i := range p.answers {
 		a := p.answers[i]
 		if !a.ok {
@@ -110,7 +116,15 @@ func (p *FitPool) query(res perf.Resources, memMB int, firstFit bool) (int, floa
 		}
 		if firstFit {
 			// Chunks ascend the ID space: the first hit is the lowest id.
-			return a.id, a.freeW, true
+			return a.id, a.freeW, 0, true
+		}
+		if art != nil {
+			// Startup-aware merge: least (startup, freeW); ties go to the
+			// earlier chunk's lower ids, same as the per-shard rule.
+			if !ok || a.startup < startup || (a.startup == startup && a.freeW < freeW) {
+				id, freeW, startup, ok = a.id, a.freeW, a.startup, true
+			}
+			continue
 		}
 		// Strictly less: key ties go to the earlier chunk's lower ids,
 		// exactly the single-index contract.
@@ -118,7 +132,7 @@ func (p *FitPool) query(res perf.Resources, memMB int, firstFit bool) (int, floa
 			id, freeW, ok = a.id, a.freeW, true
 		}
 	}
-	return id, freeW, ok
+	return id, freeW, startup, ok
 }
 
 // BestFit answers the cluster-wide best-fit query through the pool.
@@ -126,7 +140,22 @@ func (p *FitPool) BestFit(res perf.Resources, memMB int) (id int, freeW float64,
 	if p.jobs == nil {
 		return p.c.BestFit(res, memMB)
 	}
-	return p.query(res, memMB, false)
+	id, freeW, _, ok = p.query(res, memMB, false, nil)
+	return id, freeW, ok
+}
+
+// BestFitArtifact answers the startup-aware best-fit query through the
+// pool. With q == nil it is exactly BestFit (zero startup), preserving
+// the bit-identical contract for disabled tiering.
+func (p *FitPool) BestFitArtifact(res perf.Resources, memMB int, q *ArtifactQuery) (id int, freeW float64, startup time.Duration, ok bool) {
+	if q == nil {
+		id, freeW, ok = p.BestFit(res, memMB)
+		return id, freeW, 0, ok
+	}
+	if p.jobs == nil {
+		return p.c.BestFitShardsArtifact(0, len(p.c.shards), res, memMB, q)
+	}
+	return p.query(res, memMB, false, q)
 }
 
 // FirstFit answers the cluster-wide first-fit query through the pool.
@@ -134,7 +163,8 @@ func (p *FitPool) FirstFit(res perf.Resources, memMB int) (id int, freeW float64
 	if p.jobs == nil {
 		return p.c.FirstFit(res, memMB)
 	}
-	return p.query(res, memMB, true)
+	id, freeW, _, ok = p.query(res, memMB, true, nil)
+	return id, freeW, ok
 }
 
 // Close releases the pool's workers. The pool is unusable afterwards.

@@ -20,7 +20,12 @@ package cluster
 // shard at a time, so most shards are dismissed with one float compare
 // and the binary search runs over a shard-sized, cache-warm index.
 
-import "github.com/tanklab/infless/internal/perf"
+import (
+	"time"
+
+	"github.com/tanklab/infless/internal/artifact"
+	"github.com/tanklab/infless/internal/perf"
+)
 
 // shard is one contiguous slice [lo, hi) of the server ID space with its
 // own free-capacity index and incremental aggregates.
@@ -99,6 +104,75 @@ func (c *Cluster) BestFitShards(from, to int, res perf.Resources, memMB int) (id
 		})
 	}
 	return id, freeW, ok
+}
+
+// ArtifactQuery asks the placement query to score fitting servers by
+// estimated startup time: which tier holds the named checkpoint on each
+// candidate, priced by the hierarchy. A nil *ArtifactQuery means "no
+// tiering" and every artifact-aware query degenerates to the exact
+// legacy code path.
+type ArtifactQuery struct {
+	Name   string
+	SizeMB int
+	H      artifact.Hierarchy
+}
+
+// startupOn estimates the cold-start time of the query's artifact on
+// server s (remote tier when the server has no cache or misses).
+func (q *ArtifactQuery) startupOn(s *Server) time.Duration {
+	tier := artifact.TierRemote
+	if s.art != nil {
+		tier = s.art.Tier(q.Name)
+	}
+	return q.H.Startup(q.SizeMB, tier).Total()
+}
+
+// artifactWindow bounds how many fitting servers a shard examines when
+// scoring by startup time: the walk ascends the free-capacity index
+// (fullest first, the packing order) and picks the lowest-startup
+// server among the first few that fit, so a DRAM-resident copy a few
+// slots down the index wins over an SSD copy on the very fullest
+// server without the walk degenerating into a full scan.
+const artifactWindow = 8
+
+// BestFitShardsArtifact answers the startup-aware best-fit query over
+// the shard range [from, to): among fitting up servers, the one with
+// the least (estimated startup, free weighted capacity, id), examining
+// at most artifactWindow fitting servers per shard in ascending
+// free-weight order. With q == nil it is exactly BestFitShards — the
+// tie-break tuple collapses to (freeW, id) and the bounded window never
+// engages — so disabled tiering keeps decisions bit-identical.
+func (c *Cluster) BestFitShardsArtifact(from, to int, res perf.Resources, memMB int, q *ArtifactQuery) (id int, freeW float64, startup time.Duration, ok bool) {
+	if q == nil {
+		id, freeW, ok = c.BestFitShards(from, to, res, memMB)
+		return id, freeW, 0, ok
+	}
+	minW := res.Weighted()
+	id = -1
+	for si := from; si < to; si++ {
+		sh := &c.shards[si]
+		// Prune 1 (feasibility) holds unchanged: the shard's fullest-free
+		// server decides whether anything here can fit. Prune 2 does not
+		// apply — a near-empty server holding a DRAM copy can still win.
+		if maxK, any := sh.index.maxKey(); !any || maxK < minW {
+			continue
+		}
+		seen := 0
+		sh.index.ascend(minW, func(sid int32) bool {
+			s := c.servers[sid]
+			if !s.Free.Fits(res) || s.MemFreeMB < memMB {
+				return true
+			}
+			k := sh.index.key(sid)
+			st := q.startupOn(s)
+			if !ok || st < startup || (st == startup && (k < freeW || (k == freeW && int(sid) < id))) {
+				id, freeW, startup, ok = int(sid), k, st, true
+			}
+			seen++
+			return seen < artifactWindow
+		})
+	}
+	return id, freeW, startup, ok
 }
 
 // FirstFitShards answers the first-fit query over the shard range

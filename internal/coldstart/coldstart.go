@@ -14,6 +14,34 @@
 // (pre-warming window), and how long should the pre-loaded image then be
 // kept alive (keep-alive window). An arrival is warm iff the idle gap
 // preceding it lands inside [prewarm, prewarm+keepalive].
+//
+// # Migration: Policy vs TierPolicy
+//
+// With multi-tier artifact loading (internal/artifact), keep-alive is no
+// longer a binary keep-or-drop: an idle function's checkpoint can be
+// demoted down the storage hierarchy instead of evicted outright. The
+// tier-aware interface is TierPolicy (tier.go): Decide(now) returns a
+// Decision — the familiar prewarm/keep-alive windows plus the tier the
+// artifact parks at once the keep-alive window closes and how long it
+// stays there. Nothing is deprecated, silently or otherwise:
+//
+//   - Policy remains the primary interface for the binary model; Fixed,
+//     HHP and LSTH still implement it, and every existing caller
+//     (runtime.KeepAlive, Evaluate, the facade's
+//     EvaluateColdStartPolicy/DefaultLSTH) keeps compiling and behaving
+//     identically.
+//   - LSTH additionally implements TierPolicy natively: its histograms
+//     decide what tier to demote to, not just whether to keep.
+//   - Tiered(p) adapts any Policy to a TierPolicy (pass-through when the
+//     policy already is one); LegacyTier(p) pins the legacy shape —
+//     kill the container, artifact stays on SSD — even for policies
+//     with native tier support, which is how benches isolate the effect
+//     of tiering.
+//
+// Decision.KeepAlive from a native TierPolicy may be shorter than
+// Policy.Windows' keep-alive: the tiered model holds the instance fully
+// warm for less time because the DRAM pause tier covers the
+// distribution's tail at a fraction of the resident cost.
 package coldstart
 
 import (
@@ -282,13 +310,15 @@ func (h *HHP) Windows(now time.Duration) (time.Duration, time.Duration) {
 //	prewarm   = gamma*L_prewarm   + (1-gamma)*S_prewarm
 //	keepalive = gamma*L_keepalive + (1-gamma)*S_keepalive
 type LSTH struct {
-	short      *windowed
-	long       *windowed
-	gamma      float64
-	headPct    float64
-	tailPct    float64
-	minSamples int
-	fallback   time.Duration
+	short       *windowed
+	long        *windowed
+	gamma       float64
+	headPct     float64
+	tailPct     float64
+	minSamples  int
+	fallback    time.Duration
+	pausePct    float64
+	pauseFactor float64
 }
 
 // LSTHOptions configure an LSTH policy; zero values take paper defaults
@@ -301,6 +331,13 @@ type LSTHOptions struct {
 	TailPct     float64
 	MinSamples  int
 	Fallback    time.Duration
+	// PausePct and PauseFactor shape the tier-aware Decide (tier.go):
+	// the blended PausePct percentile sets the full-warm keep-alive and
+	// PauseFactor times the blended tail bounds the DRAM pause stage.
+	// They never affect Windows, so Policy-only callers see identical
+	// behavior whatever their values. Defaults 0.50 and 2.
+	PausePct    float64
+	PauseFactor float64
 }
 
 // NewLSTH creates an LSTH policy. Gamma must lie in [0,1]; the paper
@@ -330,14 +367,22 @@ func NewLSTH(opts LSTHOptions) *LSTH {
 	if opts.Fallback == 0 {
 		opts.Fallback = DefaultFixedKeepAlive
 	}
+	if opts.PausePct == 0 {
+		opts.PausePct = DefaultPausePct
+	}
+	if opts.PauseFactor == 0 {
+		opts.PauseFactor = DefaultPauseFactor
+	}
 	return &LSTH{
-		short:      newWindowed(opts.ShortWindow),
-		long:       newWindowed(opts.LongWindow),
-		gamma:      opts.Gamma,
-		headPct:    opts.HeadPct,
-		tailPct:    opts.TailPct,
-		minSamples: opts.MinSamples,
-		fallback:   opts.Fallback,
+		short:       newWindowed(opts.ShortWindow),
+		long:        newWindowed(opts.LongWindow),
+		gamma:       opts.Gamma,
+		headPct:     opts.HeadPct,
+		tailPct:     opts.TailPct,
+		minSamples:  opts.MinSamples,
+		fallback:    opts.Fallback,
+		pausePct:    opts.PausePct,
+		pauseFactor: opts.PauseFactor,
 	}
 }
 

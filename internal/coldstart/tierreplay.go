@@ -1,0 +1,155 @@
+package coldstart
+
+// tierreplay.go replays an invocation trace against a TierPolicy the
+// same way Evaluate replays one against a Policy, pricing each start by
+// the storage tier the artifact occupies when the request lands. It is
+// the engine behind the fig16t bench (LSTH vs LSTH+tiering vs
+// tiering+pre-loading).
+
+import (
+	"sort"
+	"time"
+
+	"github.com/tanklab/infless/internal/artifact"
+)
+
+// dramResidentCost is the resident-cost weight of a DRAM-paused
+// container relative to a fully warm instance: the container holds host
+// memory and no device resources. Wasted() charges paused time at this
+// rate so tiered and legacy policies compare on one number.
+const dramResidentCost = 0.25
+
+// preloadHorizonFactor bounds how long after the pause stage ends the
+// opportunistic pre-loader still covers an arrival: InstaInfer-style
+// pre-loading parks the artifact in *another* warm-but-idle instance's
+// spare memory, so the coverage window is borrowed rather than owned.
+const preloadHorizonFactor = 4
+
+// TieredResult summarizes a TierPolicy replay over one function's trace.
+type TieredResult struct {
+	Policy      string
+	Invocations int
+	// ColdStarts counts starts that paid the container boot: the
+	// artifact was at SSD or remote with no live container.
+	ColdStarts int
+	// PausedResumes counts starts served by resuming a DRAM-paused
+	// container (no boot, only the DRAM-to-device copy).
+	PausedResumes int
+	// PreloadedStarts counts starts served from an artifact the
+	// pre-loader had parked in a warm peer instance's spare memory.
+	PreloadedStarts int
+	// WarmWasted is fully-warm resident time never hit by an arrival —
+	// identical accounting to Result.WarmWasted.
+	WarmWasted time.Duration
+	// PausedWasted is DRAM-paused time never hit by an arrival, before
+	// cost weighting.
+	PausedWasted time.Duration
+	// TotalStartup sums every start's delay (cold loads, paused
+	// resumes, pre-loaded adoptions; warm hits contribute zero).
+	TotalStartup time.Duration
+}
+
+// ColdRate is the fraction of invocations that suffered a true cold
+// start (container boot paid).
+func (r TieredResult) ColdRate() float64 {
+	if r.Invocations == 0 {
+		return 0
+	}
+	return float64(r.ColdStarts) / float64(r.Invocations)
+}
+
+// Wasted is the warm-instance-equivalent resident waste: fully-warm
+// waste plus DRAM-paused waste at dramResidentCost.
+func (r TieredResult) Wasted() time.Duration {
+	return r.WarmWasted + time.Duration(dramResidentCost*float64(r.PausedWasted))
+}
+
+// MeanStartup is the mean start delay over all invocations.
+func (r TieredResult) MeanStartup() time.Duration {
+	if r.Invocations == 0 {
+		return 0
+	}
+	return r.TotalStartup / time.Duration(r.Invocations)
+}
+
+// EvaluateTiered replays a single function's invocation instants against
+// a tier-aware policy over the given storage hierarchy. The per-gap
+// timeline follows Decision (see its doc): warm window [Prewarm,
+// Prewarm+KeepAlive]; outside it the artifact sits at IdleTier for
+// IdleFor past the keep-alive window (a DRAM IdleTier is a paused
+// container: resume pays only the DRAM load, no boot), then at Floor,
+// where a start pays boot plus the floor-tier load. With preload, an
+// arrival landing within preloadHorizonFactor×IdleFor past the pause
+// stage finds the artifact pre-loaded into a warm peer's spare memory
+// and pays the DRAM load only — borrowed memory, so no waste is
+// charged for it.
+//
+// A legacy-shaped policy (LegacyTier / Tiered over Fixed or HHP)
+// reproduces Evaluate exactly: same cold starts, same warm waste, zero
+// paused accounting (TestLegacyTierMatchesEvaluate).
+func EvaluateTiered(tp TierPolicy, h artifact.Hierarchy, sizeMB int, preload bool, arrivals []time.Duration) TieredResult {
+	res := TieredResult{Policy: tp.Name(), Invocations: len(arrivals)}
+	if len(arrivals) == 0 {
+		return res
+	}
+	ts := append([]time.Duration(nil), arrivals...)
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+
+	resume := h.LoadTime(sizeMB, artifact.TierDRAM) // paused-container resume: DRAM -> device
+	res.ColdStarts++                                // the very first invocation is always cold
+	res.TotalStartup += h.Startup(sizeMB, artifact.TierSSD).Total()
+	for i := 1; i < len(ts); i++ {
+		idle := ts[i] - ts[i-1]
+		d := tp.Decide(ts[i-1])
+		warmFrom := d.Prewarm
+		warmTo := d.Prewarm + d.KeepAlive
+		paused := d.IdleTier == artifact.TierDRAM
+		pauseEnd := warmTo + d.IdleFor
+		switch {
+		case idle >= warmFrom && idle <= warmTo:
+			// Warm hit; resident from warmFrom until the arrival.
+			res.WarmWasted += idle - warmFrom
+		case idle < warmFrom:
+			// Arrived before the pre-warmed instance: a paused container
+			// still resumes without boot; otherwise this is the legacy
+			// early cold start, priced at the idle tier.
+			if paused {
+				res.PausedResumes++
+				res.PausedWasted += idle
+				res.TotalStartup += resume
+			} else {
+				res.ColdStarts++
+				res.TotalStartup += h.Startup(sizeMB, d.IdleTier).Total()
+			}
+		case idle <= pauseEnd:
+			// Keep-alive expired unused; the pause stage covers the
+			// arrival (or, without one, this is the legacy expired-window
+			// cold start).
+			res.WarmWasted += d.KeepAlive
+			if paused {
+				res.PausedResumes++
+				res.PausedWasted += idle - warmTo
+				res.TotalStartup += resume
+			} else {
+				res.ColdStarts++
+				res.TotalStartup += h.Startup(sizeMB, d.IdleTier).Total()
+			}
+		default:
+			// Past the pause stage: the whole warm window (and any pause
+			// stage) was waste.
+			res.WarmWasted += d.KeepAlive
+			if paused {
+				res.PausedWasted += d.IdleFor
+			}
+			if preload && paused && idle <= pauseEnd+preloadHorizonFactor*d.IdleFor {
+				res.PreloadedStarts++
+				res.TotalStartup += resume
+			} else {
+				res.ColdStarts++
+				res.TotalStartup += h.Startup(sizeMB, d.Floor).Total()
+			}
+		}
+		tp.RecordIdle(idle, ts[i])
+	}
+	return res
+}

@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/tanklab/infless/internal/artifact"
 	"github.com/tanklab/infless/internal/metrics"
 	"github.com/tanklab/infless/internal/model"
 	"github.com/tanklab/infless/internal/runtime"
@@ -221,6 +222,24 @@ func (f *function) scaleOut() error {
 	}
 	d := decisions[0]
 	coldDur := modelColdStart(f.model)
+	var bd artifact.Breakdown
+	tiered := false
+	if st := f.srv.cfg.Storage; st.Active() {
+		f.srv.clMu.Lock()
+		if cache := f.srv.cfg.Cluster.Server(d.Server).Artifacts(); cache != nil {
+			// Price the cold start by the tier holding the checkpoint on
+			// the chosen server, then promote it so the next launch there
+			// starts faster — same mechanics as the simulator's tiered path.
+			from := cache.Tier(f.name())
+			bd = st.Hierarchy.Startup(f.model.MemoryMB, from)
+			if landed := cache.Promote(f.name(), f.model.MemoryMB, artifact.TierDRAM); landed > from {
+				bd.Promote = st.Hierarchy.PromoteTime(f.model.MemoryMB, landed)
+			}
+			coldDur = bd.Total()
+			tiered = true
+		}
+		f.srv.clMu.Unlock()
+	}
 	inst := &instance{
 		id:     f.pool.NextID(),
 		f:      f,
@@ -235,6 +254,9 @@ func (f *function) scaleOut() error {
 	f.mu.Unlock()
 	now = f.srv.planeNow()
 	f.srv.obs.InstanceLaunched(f.name(), inst.id, true, coldDur, now)
+	if tiered {
+		f.srv.obs.InstanceStartup(f.name(), inst.id, bd, now)
+	}
 	f.srv.obs.AllocationChanged(alloc, now)
 	go inst.loop()
 	return nil
@@ -242,9 +264,11 @@ func (f *function) scaleOut() error {
 
 // modelColdStart is the emulated model-loading cost (model time; the
 // gateway always "pulls" from a warm image cache, but loading the model
-// still costs time proportional to its size).
+// still costs time proportional to its size). Single-sourced from the
+// artifact hierarchy's legacy formula, the same arithmetic the
+// simulator's perf.ColdStartTime uses.
 func modelColdStart(m *model.Model) time.Duration {
-	return time.Duration(float64(m.MemoryMB)/220.0*float64(time.Second)) + 900*time.Millisecond
+	return artifact.Legacy(m.MemoryMB)
 }
 
 func scale(d time.Duration, factor float64) time.Duration {

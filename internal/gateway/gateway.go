@@ -32,6 +32,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/tanklab/infless/internal/artifact"
 	"github.com/tanklab/infless/internal/cluster"
 	"github.com/tanklab/infless/internal/core"
 	"github.com/tanklab/infless/internal/model"
@@ -70,6 +71,12 @@ type Config struct {
 	Collector *telemetry.Collector
 	// Seed drives execution-time noise.
 	Seed int64
+	// Storage, when active, enables multi-tier artifact loading: cold
+	// starts are priced by the tier holding the checkpoint on the chosen
+	// server (promoting it up the hierarchy) instead of the scalar
+	// formula, and the startup breakdown surfaces in telemetry
+	// (infless_cold_start_tier_seconds). Nil keeps the legacy behavior.
+	Storage *artifact.Config
 }
 
 // Server is the INFless HTTP gateway. Create with New, mount as an
@@ -145,6 +152,9 @@ func New(cfg Config) *Server {
 	s.obs = runtime.Observers{s.col}
 	if cfg.Observer != nil {
 		s.obs = append(s.obs, cfg.Observer)
+	}
+	if cfg.Storage.Active() {
+		cfg.Cluster.EnableArtifacts(cfg.Storage.CacheMB)
 	}
 	s.mux.HandleFunc("POST /system/functions", s.handleDeploy)
 	s.mux.HandleFunc("GET /system/functions", s.handleList)
@@ -306,6 +316,14 @@ func (s *Server) deploy(e core.RegistryEntry) error {
 	}
 	s.fns[e.Name] = f
 	s.mu.Unlock()
+	if s.cfg.Storage.Active() {
+		// Seed the checkpoint on every server's SSD — the legacy formula's
+		// assumption — so the first tiered launch prices like the scalar
+		// path and later launches benefit from DRAM promotion.
+		s.clMu.Lock()
+		s.cfg.Cluster.SeedArtifact(e.Name, m.MemoryMB, artifact.TierSSD)
+		s.clMu.Unlock()
+	}
 	// Collector entry points take their own locks and must never run
 	// under s.mu (lockedcallback). An invocation racing this Register
 	// auto-registers the name with no SLO and the Register below then

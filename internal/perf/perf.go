@@ -24,6 +24,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"github.com/tanklab/infless/internal/artifact"
 )
 
 // Hardware constants calibrated to Table 2 and public spec sheets.
@@ -299,13 +301,12 @@ func (c *OpClass) OpTimeFracCPU(gflops, p float64, b int, cores float64) time.Du
 // ColdStartTime models instance cold start: container/runtime bring-up
 // plus loading the model weights and serving libraries. The paper notes
 // cold start often exceeds query execution time for inference functions.
+// The formula — 900 ms container boot plus an SSD read at 220 MB/s — is
+// single-sourced in internal/artifact (the SSD path of the default
+// storage hierarchy); this delegate is the legacy scalar view used
+// whenever multi-tier artifact loading is disabled.
 func ColdStartTime(modelMemoryMB int) time.Duration {
-	const (
-		containerBoot = 900 * time.Millisecond // image start + runtime init
-		loadMBPerSec  = 220.0                  // SSD read + deserialize
-	)
-	load := time.Duration(float64(modelMemoryMB) / loadMBPerSec * float64(time.Second))
-	return containerBoot + load
+	return artifact.Legacy(modelMemoryMB)
 }
 
 // LambdaMemToVCPU converts an AWS-Lambda-style memory setting to a vCPU

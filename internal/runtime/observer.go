@@ -3,6 +3,7 @@ package runtime
 import (
 	"time"
 
+	"github.com/tanklab/infless/internal/artifact"
 	"github.com/tanklab/infless/internal/metrics"
 	"github.com/tanklab/infless/internal/perf"
 )
@@ -41,6 +42,19 @@ type Observer interface {
 	// AllocationChanged fires when the cluster-wide allocation changes
 	// (launch/reclaim/failure) and on provisioning sample ticks.
 	AllocationChanged(alloc perf.Resources, now time.Duration)
+}
+
+// StartupObserver is an optional extension of Observer for planes that
+// run with multi-tier artifact storage enabled: it reports the startup
+// breakdown (boot, tier load, promotion) behind each cold launch.
+// Observers that don't implement it simply never see the event;
+// InstanceLaunched still fires with the total delay, so the base
+// interface and every existing recorder keep working unchanged.
+type StartupObserver interface {
+	// InstanceStartup fires alongside InstanceLaunched for cold launches
+	// on a tiered plane, with the tier the artifact was loaded from and
+	// the delay decomposition.
+	InstanceStartup(fn string, instance int, bd artifact.Breakdown, now time.Duration)
 }
 
 // NopObserver implements Observer with no-ops; embed it to implement
@@ -104,5 +118,15 @@ func (os Observers) InstanceReclaimed(fn string, instance int, now time.Duration
 func (os Observers) AllocationChanged(alloc perf.Resources, now time.Duration) {
 	for _, o := range os {
 		o.AllocationChanged(alloc, now)
+	}
+}
+
+// InstanceStartup fans the optional startup-breakdown event out to the
+// observers that implement StartupObserver.
+func (os Observers) InstanceStartup(fn string, instance int, bd artifact.Breakdown, now time.Duration) {
+	for _, o := range os {
+		if so, ok := o.(StartupObserver); ok {
+			so.InstanceStartup(fn, instance, bd, now)
+		}
 	}
 }

@@ -1,0 +1,151 @@
+package scheduler
+
+// artifact_test.go pins the tiering-off contract of the startup-aware
+// placement path: with Options.Artifact nil, every Schedule decision is
+// bit-identical to the pre-artifact scheduler — even on clusters whose
+// servers carry enabled, seeded artifact caches — across shard counts,
+// FitWorkers sweeps and shard-boundary failures. A second suite pins the
+// tiering-ON determinism: with a live ArtifactQuery, decisions are
+// identical at every FitWorkers count.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/tanklab/infless/internal/artifact"
+	"github.com/tanklab/infless/internal/cluster"
+	"github.com/tanklab/infless/internal/model"
+)
+
+// TestArtifactNilEquivalence quick-checks that a nil Artifact option
+// degenerates to the exact legacy code path: the reference runs on a
+// plain cluster with no artifact support at all, the candidate runs on a
+// mirrored sharded cluster with caches enabled and checkpoints seeded,
+// and every decision must match.
+func TestArtifactNilEquivalence(t *testing.T) {
+	models := []string{"ResNet-50", "MobileNet", "TextCNN-69", "MNIST", "SSD", "Bert-v1"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		name := models[rng.Intn(len(models))]
+		slo := time.Duration(80+rng.Intn(400)) * time.Millisecond
+		fn := Function{Name: name, Model: model.MustGet(name), SLO: slo}
+		shards := []int{2, 3, 4, 7, 16}[rng.Intn(5)]
+		workers := 1 + rng.Intn(shards+2)
+		refOpts := Options{MaxInstancesPerCall: 200}
+		artOpts := refOpts
+		artOpts.FitWorkers = workers // Artifact stays nil
+		pRef := BuildPlan(fn, testPred, refOpts)
+		pArt := BuildPlan(fn, testPred, artOpts)
+		if !pRef.Feasible() {
+			return true
+		}
+		flat, sharded := mirroredShardedClusters(rng, shards)
+		// Enabled, seeded caches on the candidate only: a nil query must
+		// never read them.
+		cfg := artifact.DefaultConfig()
+		sharded.EnableArtifacts(cfg.CacheMB)
+		sharded.SeedArtifact(name, fn.Model.MemoryMB, artifact.Tier(1+rng.Intn(2)))
+		for round := 0; round < 3; round++ {
+			rps := rng.Float64() * 5000
+			want, wantRes := pRef.Schedule(rps, flat)
+			got, gotRes := pArt.Schedule(rps, sharded)
+			if gotRes != wantRes || len(got) != len(want) {
+				t.Logf("seed %d round %d (shards=%d workers=%d): placed %d residual %v, reference %d residual %v",
+					seed, round, shards, workers, len(got), gotRes, len(want), wantRes)
+				return false
+			}
+			for i := range got {
+				if got[i].Server != want[i].Server || got[i].Candidate != want[i].Candidate {
+					t.Logf("seed %d round %d decision %d: artifact-nil %+v, reference %+v",
+						seed, round, i, got[i], want[i])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	n := 30
+	if testing.Short() {
+		n = 8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: n}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestArtifactNilEquivalenceShardBoundary repeats the nil-query contract
+// deterministically with down servers pinned to shard boundaries and a
+// FitWorkers sweep, mirroring TestShardedFitWorkersEquivalence.
+func TestArtifactNilEquivalenceShardBoundary(t *testing.T) {
+	build := func(withCaches bool) *cluster.Cluster {
+		cl := cluster.New(cluster.Options{Servers: 12, Shards: 4})
+		if withCaches {
+			cfg := artifact.DefaultConfig()
+			cl.EnableArtifacts(cfg.CacheMB)
+			cl.SeedArtifact("ResNet-50", 2048, artifact.TierDRAM)
+		}
+		cl.SetDown(2, true) // last server of shard 0
+		cl.SetDown(3, true) // first server of shard 1
+		cl.SetDown(11, true)
+		return cl
+	}
+	pRef := BuildPlan(resnetFn(), testPred, Options{MaxInstancesPerCall: 100})
+	want, wantRes := pRef.Schedule(700, build(false))
+	if len(want) == 0 {
+		t.Fatal("reference run placed nothing; test is vacuous")
+	}
+	for _, workers := range []int{1, 2, 4, 6} {
+		p := BuildPlan(resnetFn(), testPred, Options{MaxInstancesPerCall: 100, FitWorkers: workers})
+		got, gotRes := p.Schedule(700, build(true))
+		if gotRes != wantRes || len(got) != len(want) {
+			t.Fatalf("workers=%d: placed %d residual %v, want %d residual %v",
+				workers, len(got), gotRes, len(want), wantRes)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d decision %d: %+v != %+v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestArtifactQueryFitWorkersDeterminism pins the tiering-ON side: with
+// a live ArtifactQuery and a skewed cache layout (DRAM copies on a few
+// servers, SSD elsewhere), Schedule must decide identically at every
+// FitWorkers count.
+func TestArtifactQueryFitWorkersDeterminism(t *testing.T) {
+	fn := resnetFn()
+	q := &cluster.ArtifactQuery{Name: fn.Name, SizeMB: fn.Model.MemoryMB, H: artifact.Default()}
+	build := func() *cluster.Cluster {
+		cl := cluster.New(cluster.Options{Servers: 16, Shards: 4})
+		cfg := artifact.DefaultConfig()
+		cl.EnableArtifacts(cfg.CacheMB)
+		cl.SeedArtifact(fn.Name, fn.Model.MemoryMB, artifact.TierSSD)
+		for _, id := range []int{3, 4, 12} { // DRAM copies straddling shard edges
+			cl.Server(id).Artifacts().Promote(fn.Name, fn.Model.MemoryMB, artifact.TierDRAM)
+		}
+		return cl
+	}
+	run := func(workers int) ([]Decision, float64) {
+		p := BuildPlan(fn, testPred, Options{MaxInstancesPerCall: 100, FitWorkers: workers, Artifact: q})
+		return p.Schedule(900, build())
+	}
+	want, wantRes := run(1)
+	if len(want) == 0 {
+		t.Fatal("reference run placed nothing; test is vacuous")
+	}
+	for _, workers := range []int{2, 3, 4, 9} {
+		got, gotRes := run(workers)
+		if gotRes != wantRes || len(got) != len(want) {
+			t.Fatalf("workers=%d: placed %d residual %v, want %d residual %v",
+				workers, len(got), gotRes, len(want), wantRes)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d decision %d: %+v != %+v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}

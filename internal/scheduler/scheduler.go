@@ -80,6 +80,14 @@ type Options struct {
 	// (TestPrefixCutMatchesFullWalk); the fig17s bench uses this as its
 	// pre-optimization baseline.
 	DisablePrefixCut bool
+	// Artifact, when non-nil, makes placement startup-aware: pass-1
+	// queries go through the cluster's startup-scored best fit (which
+	// tier holds this function's checkpoint on each candidate server),
+	// and pass 2 breaks exact Eq. 10 score ties toward the lower
+	// estimated startup. nil keeps every query and comparison on the
+	// legacy path — decisions are bit-identical to a tree without
+	// artifact support (TestArtifactNilEquivalence).
+	Artifact *cluster.ArtifactQuery
 }
 
 func (o *Options) defaults() {
@@ -137,11 +145,12 @@ type scored struct {
 
 // fit is scheduleOne's per-candidate best-host record.
 type fit struct {
-	c      Candidate
-	srv    int
-	freeW  float64
-	perRes float64
-	idx    int
+	c       Candidate
+	srv     int
+	freeW   float64
+	perRes  float64
+	idx     int
+	startup time.Duration // estimated cold start on srv (artifact-aware runs only)
 }
 
 // BuildPlan evaluates the configuration grid for fn and keeps every
@@ -290,14 +299,14 @@ func (p *Plan) scheduleOne(rps float64, pool *cluster.FitPool) (Decision, bool) 
 				// monotone in perRes, so every later candidate fails it too.
 				break
 			}
-			srv, freeW, ok := pool.BestFit(sc.c.Res, memMB)
+			srv, freeW, startup, ok := pool.BestFitArtifact(sc.c.Res, memMB, p.opts.Artifact)
 			if !ok {
 				continue
 			}
 			if maxPerRes == 0 {
 				maxPerRes = sc.perRes // best fitting ratio: first fit in rank order
 			}
-			fits = append(fits, fit{c: sc.c, srv: srv, freeW: freeW, perRes: sc.perRes, idx: sc.idx})
+			fits = append(fits, fit{c: sc.c, srv: srv, freeW: freeW, perRes: sc.perRes, idx: sc.idx, startup: startup})
 		}
 		p.fits = fits // keep any capacity growth for the next call
 		if len(fits) == 0 {
@@ -316,11 +325,18 @@ func (p *Plan) scheduleOne(rps float64, pool *cluster.FitPool) (Decision, bool) 
 		sort.Slice(fits, func(a, b int) bool { return fits[a].idx < fits[b].idx })
 		var best Decision
 		bestE := math.Inf(-1)
+		bestStartup := time.Duration(0)
 		for _, f := range fits {
 			num := f.perRes / maxPerRes
 			e := efficiency(num, f.c.Res.Weighted(), f.freeW, false, f.c.Bounds.RUp)
-			if e > bestE {
+			// Startup tie-break (artifact-aware runs only): on an exact
+			// Eq. 10 score tie, prefer the placement whose checkpoint sits
+			// higher in the storage hierarchy. With Artifact nil every
+			// startup is zero and the comparison can never fire, keeping
+			// decisions bit-identical to the legacy walk.
+			if e > bestE || (p.opts.Artifact != nil && e == bestE && f.startup < bestStartup) {
 				bestE = e
+				bestStartup = f.startup
 				best = Decision{Server: f.srv, Candidate: f.c}
 			}
 		}
@@ -344,12 +360,12 @@ func (p *Plan) scheduleOneFullWalk(rps float64, pool *cluster.FitPool) (Decision
 		fits := p.fits[:0]
 		maxPerRes := 0.0
 		for _, c := range ib {
-			srv, freeW, ok := pool.BestFit(c.Res, memMB)
+			srv, freeW, startup, ok := pool.BestFitArtifact(c.Res, memMB, p.opts.Artifact)
 			if !ok {
 				continue
 			}
 			perRes := c.Bounds.RUp / c.Res.Weighted()
-			fits = append(fits, fit{c: c, srv: srv, freeW: freeW, perRes: perRes})
+			fits = append(fits, fit{c: c, srv: srv, freeW: freeW, perRes: perRes, startup: startup})
 			if perRes > maxPerRes {
 				maxPerRes = perRes
 			}
@@ -360,14 +376,16 @@ func (p *Plan) scheduleOneFullWalk(rps float64, pool *cluster.FitPool) (Decision
 		}
 		var best Decision
 		bestE := math.Inf(-1)
+		bestStartup := time.Duration(0)
 		for _, f := range fits {
 			num := f.perRes / maxPerRes
 			if num < 0.95 {
 				continue
 			}
 			e := efficiency(num, f.c.Res.Weighted(), f.freeW, false, f.c.Bounds.RUp)
-			if e > bestE {
+			if e > bestE || (p.opts.Artifact != nil && e == bestE && f.startup < bestStartup) {
 				bestE = e
+				bestStartup = f.startup
 				best = Decision{Server: f.srv, Candidate: f.c}
 			}
 		}

@@ -9,6 +9,7 @@ import (
 	"math/rand"
 	"time"
 
+	"github.com/tanklab/infless/internal/artifact"
 	"github.com/tanklab/infless/internal/cluster"
 	"github.com/tanklab/infless/internal/coldstart"
 	"github.com/tanklab/infless/internal/metrics"
@@ -31,15 +32,22 @@ type FunctionState struct {
 	// metrics observer (observers.go).
 	Launches     int
 	ColdLaunches int
-	BatchServed  map[int]uint64  // requests served, by drained batch size
-	ConfigCount  map[string]int  // instances launched, by (b,c,g) label
-	plan         *scheduler.Plan // lazily built by controllers that need it
+	// Preloads counts opportunistic pre-loads of this function's artifact
+	// into a server's spare DRAM (tiered storage with Preload only).
+	Preloads    int
+	BatchServed map[int]uint64  // requests served, by drained batch size
+	ConfigCount map[string]int  // instances launched, by (b,c,g) label
+	plan        *scheduler.Plan // lazily built by controllers that need it
 
 	// ChainRecorder tracks end-to-end chain latency for requests whose
 	// chain terminates at this function (nil when the function is not a
 	// chain tail). The chain's end-to-end SLO is the tail's recorder SLO.
 	ChainRecorder *metrics.LatencyRecorder
 	forwardTo     *FunctionState
+
+	// artSizeMB is the function's checkpoint size for tiered storage
+	// (Spec.Artifact.SizeMB defaulted to the model's memory footprint).
+	artSizeMB int
 
 	pool           runtime.Pool[*Instance]
 	batch          runtime.BatchPolicy
@@ -131,8 +139,15 @@ func New(ctrl Controller, cfg Config) *Engine {
 		e.collector = telemetry.New(topts)
 	}
 	e.obs = runtime.Observers{&metricsObserver{e: e, warmup: cfg.Warmup}, e.collector}
+	if cfg.Storage.Active() {
+		cfg.Cluster.EnableArtifacts(cfg.Storage.CacheMB)
+	}
 	return e
 }
+
+// storageActive reports whether multi-tier artifact loading is on for
+// this run. When false, every lifecycle path is the legacy one.
+func (e *Engine) storageActive() bool { return e.cfg.Storage.Active() }
 
 // Telemetry returns the engine's collector; read it during a run for
 // live statistics or after Run for the final state.
@@ -161,6 +176,19 @@ func (e *Engine) AddFunction(spec FunctionSpec) *FunctionState {
 		ConfigCount: map[string]int{},
 		batch:       runtime.BatchPolicy{SLO: spec.SLO},
 		rate:        e.rates.Get(spec.Name),
+	}
+	f.artSizeMB = spec.Artifact.SizeMB
+	if f.artSizeMB == 0 {
+		f.artSizeMB = spec.Model.MemoryMB
+	}
+	if e.storageActive() {
+		initial := spec.Artifact.Initial
+		if spec.Artifact == (artifact.Spec{}) {
+			// Zero-value spec: checkpoint already on every local SSD, the
+			// legacy formula's assumption.
+			initial = artifact.TierSSD
+		}
+		e.cfg.Cluster.SeedArtifact(spec.Name, f.artSizeMB, initial)
 	}
 	e.collector.Register(spec.Name, spec.SLO)
 	e.fns = append(e.fns, f)

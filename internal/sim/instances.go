@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/tanklab/infless/internal/artifact"
 	"github.com/tanklab/infless/internal/batching"
 	"github.com/tanklab/infless/internal/coldstart"
 	"github.com/tanklab/infless/internal/perf"
@@ -70,8 +71,23 @@ func (e *Engine) launchAllocated(f *FunctionState, cand scheduler.Candidate, ser
 
 	coldDur := perf.ColdStartTime(f.Spec.Model.MemoryMB)
 	cold := now >= f.prewarmedUntil
+	var bd artifact.Breakdown
+	tiered := false
 	if !cold {
 		coldDur = e.cfg.WarmStartTime
+	} else if e.storageActive() {
+		if cache := e.cfg.Cluster.Server(server).Artifacts(); cache != nil {
+			// Price the cold start by the tier holding the checkpoint on
+			// this server, then promote the artifact up the hierarchy so
+			// the next launch here starts faster.
+			from := cache.Tier(f.Spec.Name)
+			bd = e.cfg.Storage.Hierarchy.Startup(f.artSizeMB, from)
+			if landed := cache.Promote(f.Spec.Name, f.artSizeMB, artifact.TierDRAM); landed > from {
+				bd.Promote = e.cfg.Storage.Hierarchy.PromoteTime(f.artSizeMB, landed)
+			}
+			coldDur = bd.Total()
+			tiered = true
+		}
 	}
 	f.ConfigCount[fmt.Sprintf("(%d,%d,%d)", cand.B, cand.Res.CPU, cand.Res.GPU)]++
 
@@ -86,6 +102,9 @@ func (e *Engine) launchAllocated(f *FunctionState, cand scheduler.Candidate, ser
 	}
 	f.pool.Add(inst)
 	e.obs.InstanceLaunched(f.Spec.Name, inst.ID, cold, coldDur, now)
+	if tiered {
+		e.obs.InstanceStartup(f.Spec.Name, inst.ID, bd, now)
+	}
 	e.clock.ScheduleAfter(coldDur, func() {
 		inst.Ready = true
 		if inst.Queue.Len() > 0 {
@@ -135,16 +154,67 @@ func (e *Engine) Reclaim(inst *Instance) {
 	f.pool.Remove(inst)
 	e.obs.InstanceReclaimed(f.Spec.Name, inst.ID, now)
 	e.allocationChanged()
+	if e.storageActive() {
+		e.demoteAndPreload(f, inst.Server, now)
+	}
 	if f.pool.Len() == 0 {
 		e.schedulePrewarm(f)
 	}
 }
 
-// scheduleReclaim arms the keep-alive timer for an idle instance.
+// preloadPerReclaim caps how many artifacts one reclaim event may
+// opportunistically pre-load into the freed server's spare DRAM.
+const preloadPerReclaim = 2
+
+// demoteAndPreload applies the tiered idle transition after a reclaim on
+// server: the departing function's artifact is demoted to the tier its
+// cold-start policy decides (LSTH parks it in DRAM through the pause
+// stage; legacy-shaped policies rest it on SSD), and — when pre-loading
+// is on — other functions' artifacts are parked in the server's spare
+// DRAM without evicting residents, in registration order for
+// determinism.
+func (e *Engine) demoteAndPreload(f *FunctionState, server int, now time.Duration) {
+	cache := e.cfg.Cluster.Server(server).Artifacts()
+	if cache == nil {
+		return
+	}
+	to := artifact.TierSSD
+	if f.Policy != nil {
+		to = coldstart.Tiered(f.Policy).Decide(now).IdleTier
+	}
+	cache.Demote(f.Spec.Name, to)
+	if !e.cfg.Storage.Preload {
+		return
+	}
+	loaded := 0
+	for _, g := range e.fns {
+		if loaded >= preloadPerReclaim {
+			break
+		}
+		if g == f || cache.Tier(g.Spec.Name) >= artifact.TierDRAM {
+			continue
+		}
+		if cache.PutIfFree(g.Spec.Name, g.artSizeMB, artifact.TierDRAM) {
+			g.Preloads++
+			loaded++
+		}
+	}
+}
+
+// scheduleReclaim arms the keep-alive timer for an idle instance. With
+// tiered storage, a tier-aware policy's Decision governs instead of the
+// plain windows: the instance is held fully warm only for the (shorter)
+// tiered keep-alive, relying on the DRAM-parked artifact to cover the
+// idle distribution's tail.
 func (e *Engine) scheduleReclaim(inst *Instance) {
 	now := e.clock.Now()
 	inst.idleSince = now
-	keep := runtime.KeepAlive(inst.Fn.Policy, now)
+	var keep time.Duration
+	if e.storageActive() && inst.Fn.Policy != nil {
+		keep = coldstart.Tiered(inst.Fn.Policy).Decide(now).KeepAlive
+	} else {
+		keep = runtime.KeepAlive(inst.Fn.Policy, now)
+	}
 	e.cancelReclaim(inst)
 	inst.reclaimEv = e.clock.ScheduleAfter(keep, func() {
 		inst.reclaimEv = nil

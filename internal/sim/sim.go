@@ -24,6 +24,7 @@ package sim
 import (
 	"time"
 
+	"github.com/tanklab/infless/internal/artifact"
 	"github.com/tanklab/infless/internal/cluster"
 	"github.com/tanklab/infless/internal/coldstart"
 	"github.com/tanklab/infless/internal/model"
@@ -108,6 +109,15 @@ type Config struct {
 	// goes down, its instances die (queued requests drop), and the
 	// controller must re-schedule. Recovery restores capacity.
 	Failures []ServerFailure
+	// Storage, when active, enables multi-tier artifact loading: each
+	// server gets an artifact cache, cold starts are priced by the tier
+	// holding the checkpoint (promoting it up the hierarchy), idle
+	// functions' artifacts are demoted per their cold-start policy, and
+	// — with Storage.Preload — reclaim events opportunistically park
+	// other functions' artifacts in the freed server's spare DRAM. Nil
+	// or disabled keeps every code path bit-identical to the legacy
+	// scalar cold-start formula.
+	Storage *artifact.Config
 }
 
 // ServerFailure describes one injected outage.
@@ -162,6 +172,11 @@ type FunctionSpec struct {
 	// target the chain recorder checks. Zero means the sum of the stage
 	// SLOs along the chain.
 	ChainSLO time.Duration
+	// Artifact describes the function's checkpoint for tiered storage
+	// (ignored unless Config.Storage is active). The zero value means
+	// "Model.MemoryMB on local SSD", matching the legacy formula; a
+	// non-zero SizeMB with Initial left zero starts the artifact remote.
+	Artifact artifact.Spec
 }
 
 // Request is one inference invocation.

@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/tanklab/infless/internal/artifact"
 	"github.com/tanklab/infless/internal/metrics"
 	"github.com/tanklab/infless/internal/perf"
 )
@@ -106,6 +107,13 @@ type funcStats struct {
 	coldLaunches int
 	live         int
 	timeline     []LaunchPoint
+
+	// Startup breakdown of tiered cold launches (zero unless the plane
+	// runs with multi-tier artifact storage).
+	tierStarts     [artifact.NumTiers]uint64
+	startupBoot    time.Duration
+	startupPromote time.Duration
+	startupLoad    [artifact.NumTiers]time.Duration
 
 	win window
 }
@@ -233,6 +241,22 @@ func (c *Collector) InstanceLaunched(fn string, _ int, cold bool, startDelay, no
 			Cold:         cold,
 			StartDelayMs: ms(startDelay),
 		})
+	}
+	fs.mu.Unlock()
+}
+
+// InstanceStartup implements runtime.StartupObserver: it accumulates the
+// startup-time decomposition (boot vs per-tier load vs promotion) of
+// tiered cold launches.
+func (c *Collector) InstanceStartup(fn string, _ int, bd artifact.Breakdown, now time.Duration) {
+	c.noteTime(now)
+	fs := c.stats(fn)
+	fs.mu.Lock()
+	fs.startupBoot += bd.Boot
+	fs.startupPromote += bd.Promote
+	if bd.From < artifact.NumTiers {
+		fs.tierStarts[bd.From]++
+		fs.startupLoad[bd.From] += bd.Load
 	}
 	fs.mu.Unlock()
 }

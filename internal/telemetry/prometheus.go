@@ -45,6 +45,26 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 			fmt.Fprintf(b, "infless_instance_launches_total{function=%q} %d\n", f.Name, f.Launches)
 		}
 	})
+	counter("infless_cold_start_tier_total", "Tiered cold launches by checkpoint source tier.", func() {
+		for _, f := range s.Functions {
+			if f.Startup == nil {
+				continue
+			}
+			for _, tier := range sortedKeys(f.Startup.TierStarts) {
+				fmt.Fprintf(b, "infless_cold_start_tier_total{function=%q,tier=%q} %d\n", f.Name, tier, f.Startup.TierStarts[tier])
+			}
+		}
+	})
+	counter("infless_cold_start_tier_seconds", "Cumulative checkpoint load time by source tier.", func() {
+		for _, f := range s.Functions {
+			if f.Startup == nil {
+				continue
+			}
+			for _, tier := range sortedKeys(f.Startup.LoadMs) {
+				fmt.Fprintf(b, "infless_cold_start_tier_seconds{function=%q,tier=%q} %g\n", f.Name, tier, f.Startup.LoadMs[tier]/1e3)
+			}
+		}
+	})
 	counter("infless_batches_total", "Batches drained for execution.", func() {
 		for _, f := range s.Functions {
 			fmt.Fprintf(b, "infless_batches_total{function=%q} %d\n", f.Name, f.Batches)
@@ -108,4 +128,15 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// sortedKeys returns the map's keys in ascending order, for stable
+// exposition output.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }

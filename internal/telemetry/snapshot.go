@@ -8,10 +8,13 @@ package telemetry
 import (
 	"sort"
 	"time"
+
+	"github.com/tanklab/infless/internal/artifact"
 )
 
-// SchemaVersion identifies the snapshot document layout.
-const SchemaVersion = 1
+// SchemaVersion identifies the snapshot document layout. Version 2
+// added the optional per-function "startup" breakdown (tiered storage).
+const SchemaVersion = 2
 
 // Snapshot is one consistent view of everything the collector knows.
 type Snapshot struct {
@@ -57,6 +60,10 @@ type FunctionSnapshot struct {
 	LiveInstances int           `json:"liveInstances"`
 	ColdTimeline  []LaunchPoint `json:"coldTimeline,omitempty"`
 
+	// Startup decomposes tiered cold-launch delay (absent unless the
+	// plane runs with multi-tier artifact storage).
+	Startup *StartupSnapshot `json:"startup,omitempty"`
+
 	Window WindowSnapshot `json:"window"`
 
 	// LatencyBuckets is the cumulative latency histogram backing the
@@ -71,6 +78,16 @@ type LaunchPoint struct {
 	AtMs         float64 `json:"atMs"`
 	Cold         bool    `json:"cold"`
 	StartDelayMs float64 `json:"startDelayMs"`
+}
+
+// StartupSnapshot decomposes a function's cumulative cold-launch delay
+// on a tiered plane: container boot, checkpoint load by source tier,
+// and cache promotion, plus the launch count by source tier.
+type StartupSnapshot struct {
+	TierStarts map[string]uint64  `json:"tierStarts"`
+	BootMs     float64            `json:"bootMs"`
+	PromoteMs  float64            `json:"promoteMs"`
+	LoadMs     map[string]float64 `json:"loadMs"`
 }
 
 // WindowSnapshot is the rolling-window view of one function.
@@ -172,6 +189,25 @@ func snapshotFunc(name string, fs *funcStats, now time.Duration) FunctionSnapsho
 	}
 	for b, n := range fs.batchServed {
 		out.BatchServed[b] = n
+	}
+	var anyTiered uint64
+	for _, n := range fs.tierStarts {
+		anyTiered += n
+	}
+	if anyTiered > 0 {
+		st := &StartupSnapshot{
+			TierStarts: map[string]uint64{},
+			BootMs:     ms(fs.startupBoot),
+			PromoteMs:  ms(fs.startupPromote),
+			LoadMs:     map[string]float64{},
+		}
+		for t := artifact.Tier(0); t < artifact.NumTiers; t++ {
+			if fs.tierStarts[t] > 0 {
+				st.TierStarts[t.String()] = fs.tierStarts[t]
+				st.LoadMs[t.String()] = ms(fs.startupLoad[t])
+			}
+		}
+		out.Startup = st
 	}
 	lat := fs.latency.Clone()
 	queue := fs.queue.Clone()

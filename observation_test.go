@@ -16,6 +16,7 @@ import (
 	"time"
 
 	infless "github.com/tanklab/infless"
+	"github.com/tanklab/infless/internal/telemetry"
 )
 
 func runSmallPlatform(t *testing.T, opts infless.Options) *infless.Report {
@@ -99,7 +100,7 @@ func TestTelemetryHandleMatchesReport(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
 		t.Fatalf("snapshot document is not JSON: %v", err)
 	}
-	if snap["schemaVersion"] != float64(1) {
+	if snap["schemaVersion"] != float64(telemetry.SchemaVersion) {
 		t.Errorf("schemaVersion = %v", snap["schemaVersion"])
 	}
 

@@ -81,6 +81,19 @@ type FunctionReport struct {
 	// ConfigUsage maps "(b,c,g)" labels -> instances launched with that
 	// configuration (Figure 13c). Engine state, absent in mid-run reports.
 	ConfigUsage map[string]int `json:"configUsage,omitempty"`
+	// Startup decomposes cold-launch delay on a tiered plane (absent
+	// unless Options.Storage is enabled).
+	Startup *StartupReport `json:"startup,omitempty"`
+}
+
+// StartupReport is the per-function startup-time breakdown of tiered
+// cold launches: cumulative container-boot time, checkpoint load time by
+// source tier, cache-promotion time, and launch counts by source tier.
+type StartupReport struct {
+	TierStarts map[string]uint64        `json:"tierStarts"`
+	Boot       time.Duration            `json:"boot"`
+	Promote    time.Duration            `json:"promote"`
+	Load       map[string]time.Duration `json:"load"`
 }
 
 // ProvisionSample is one point of the provisioning time series.
@@ -131,6 +144,21 @@ func reportFromSnapshot(system string, duration time.Duration, snap telemetry.Sn
 			for b, n := range f.BatchServed {
 				fr.BatchUsage[b] = n
 			}
+		}
+		if f.Startup != nil {
+			sr := &StartupReport{
+				TierStarts: make(map[string]uint64, len(f.Startup.TierStarts)),
+				Boot:       msDuration(f.Startup.BootMs),
+				Promote:    msDuration(f.Startup.PromoteMs),
+				Load:       make(map[string]time.Duration, len(f.Startup.LoadMs)),
+			}
+			for tier, n := range f.Startup.TierStarts {
+				sr.TierStarts[tier] = n
+			}
+			for tier, ld := range f.Startup.LoadMs {
+				sr.Load[tier] = msDuration(ld)
+			}
+			fr.Startup = sr
 		}
 		r.Functions = append(r.Functions, fr)
 	}
