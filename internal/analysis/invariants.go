@@ -99,6 +99,8 @@ var SingleDefs = []SingleDef{
 		"the startup-aware placement view is defined once, next to the shard merge it extends"},
 	{KindMethod, "Cluster", "BestFitShardsArtifact", "internal/cluster/shard.go",
 		"the startup-tie-break shard merge has one implementation, mirroring BestFitShards"},
+	{KindType, "", "funcTable", "internal/gateway/table.go",
+		"the gateway's copy-on-write dispatch table has one home, next to its publish discipline"},
 }
 
 // ForbiddenDecls is the production forbidden-declaration table.
@@ -121,4 +123,8 @@ var ForbiddenDecls = []ForbiddenDecl{
 		"artifact residency tracking has one implementation; planes hold an artifact.Cache"},
 	{KindType, "tierSpec", "internal/artifact",
 		"per-tier bandwidth/latency tables live in internal/artifact only"},
+	{KindType, "funcTable", "internal/gateway",
+		"lock-free function-table snapshotting is the gateway's concern; one implementation"},
+	{KindType, "functionTable", "internal/gateway",
+		"lock-free function-table snapshotting is the gateway's concern; one implementation"},
 }

@@ -24,8 +24,11 @@ import (
 	"strings"
 )
 
-// lockedCallbackScopes is where the discipline applies.
-var lockedCallbackScopes = []string{"internal/gateway", "internal/telemetry"}
+// lockedCallbackScopes is where the discipline applies: the gateway
+// (whose table publish path holds tbl.mu while the registry and plan
+// are touched), the telemetry collector, and the copy-on-write registry
+// in internal/core.
+var lockedCallbackScopes = []string{"internal/gateway", "internal/telemetry", "internal/core"}
 
 // LockedCallbackAnalyzer implements the lockedcallback check.
 var LockedCallbackAnalyzer = &Analyzer{

@@ -11,6 +11,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -25,15 +26,22 @@ type RegistryEntry struct {
 	DeployedAt   time.Duration `json:"deployedAtNs"` // virtual time
 }
 
-// Registry is a concurrency-safe function metadata store.
+// Registry is a concurrency-safe function metadata store. Reads are
+// lock-free: the entry map is copy-on-write behind one atomic pointer
+// (the gateway consults the registry on its dispatch path, which must
+// not serialize on deployment-rate writes), and writers serialize on a
+// mutex, copy, and publish.
 type Registry struct {
-	mu      sync.RWMutex
-	entries map[string]RegistryEntry
+	mu sync.Mutex // writers only
+	v  atomic.Pointer[map[string]RegistryEntry]
 }
 
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{entries: map[string]RegistryEntry{}}
+	r := &Registry{}
+	m := map[string]RegistryEntry{}
+	r.v.Store(&m)
+	return r
 }
 
 // Register adds or replaces a function record. The entry must validate
@@ -52,15 +60,19 @@ func (r *Registry) Register(e RegistryEntry) error {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.entries[e.Name] = e
+	cur := *r.v.Load()
+	next := make(map[string]RegistryEntry, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	next[e.Name] = e
+	r.v.Store(&next)
 	return nil
 }
 
-// Lookup returns the record for name.
+// Lookup returns the record for name (lock-free).
 func (r *Registry) Lookup(name string) (RegistryEntry, bool) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	e, ok := r.entries[name]
+	e, ok := (*r.v.Load())[name]
 	return e, ok
 }
 
@@ -68,28 +80,35 @@ func (r *Registry) Lookup(name string) (RegistryEntry, bool) {
 func (r *Registry) Delete(name string) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	_, ok := r.entries[name]
-	delete(r.entries, name)
-	return ok
+	cur := *r.v.Load()
+	if _, ok := cur[name]; !ok {
+		return false
+	}
+	next := make(map[string]RegistryEntry, len(cur)-1)
+	for k, v := range cur {
+		if k != name {
+			next[k] = v
+		}
+	}
+	r.v.Store(&next)
+	return true
 }
 
-// List returns all records sorted by name (faasdev-cli list).
+// List returns all records sorted by name (faasdev-cli list). The
+// snapshot is consistent: concurrent writes publish whole new maps.
 func (r *Registry) List() []RegistryEntry {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	out := make([]RegistryEntry, 0, len(r.entries))
-	for _, e := range r.entries {
+	cur := *r.v.Load()
+	out := make([]RegistryEntry, 0, len(cur))
+	for _, e := range cur {
 		out = append(out, e)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 
-// Len returns the number of registered functions.
+// Len returns the number of registered functions (lock-free).
 func (r *Registry) Len() int {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return len(r.entries)
+	return len(*r.v.Load())
 }
 
 // Save serializes the registry as JSON.

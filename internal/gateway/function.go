@@ -13,10 +13,11 @@ package gateway
 
 import (
 	"context"
-	"fmt"
+	"errors"
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/tanklab/infless/internal/artifact"
@@ -37,10 +38,35 @@ type function struct {
 	// telemetry collector, which observes this function's event stream.
 	slo time.Duration
 
+	// maxWait is the admission bound (Config.MaxQueue): when waiting
+	// exceeds it, new arrivals shed with 429. Non-positive disables it.
+	maxWait int64
+	// waiting counts invocations currently inside the gateway (queued
+	// for dispatch or executing), maintained lock-free on the hot path.
+	waiting atomic.Int64
+
+	// insts is the dispatch snapshot: the pool's members pre-sorted by
+	// r_up descending, republished under f.mu on every membership change
+	// so offer() walks it with no lock and no per-request sort.
+	insts atomic.Pointer[[]*instance]
+
 	mu        sync.Mutex
 	pool      runtime.Pool[*instance]
 	launchDue time.Duration // plane time; 0 = no launch pending
 	closed    bool
+}
+
+// publishInstances rebuilds the lock-free dispatch snapshot from the
+// pool, ordered by saturation rate r_up descending — the non-uniform
+// dispatch preference, applied once per membership change instead of
+// once per request. Callers hold f.mu (or, at construction time, have
+// exclusive ownership).
+func (f *function) publishInstances() {
+	insts := f.pool.Snapshot()
+	sort.Slice(insts, func(i, j int) bool {
+		return insts[i].cand.Bounds.RUp > insts[j].cand.Bounds.RUp
+	})
+	f.insts.Store(&insts)
 }
 
 // launchDebounce is how long (in model time) an overflow must persist
@@ -98,22 +124,84 @@ type instance struct {
 	rng    *rand.Rand
 }
 
-// errWaitWarm signals that scale-out declined to launch because an
-// instance is already warming: the caller should hold its request and
-// re-offer, the way the simulator parks unplaceable requests in the
-// Pending backlog until the autoscaler's launch comes up.
-var errWaitWarm = fmt.Errorf("gateway: instance warming, backlog held")
+// Sentinel errors for the invoke path. Sentinels instead of fmt.Errorf
+// keep the hot path allocation-free and let handleInvoke map each cause
+// to its preformatted body and status code (429 for the shed family,
+// 404 for undeployed, 503 for the rest).
+var (
+	// errWaitWarm signals that scale-out declined to launch because an
+	// instance is already warming: the caller should hold its request
+	// and re-offer, the way the simulator parks unplaceable requests in
+	// the Pending backlog until the autoscaler's launch comes up.
+	errWaitWarm = errors.New("gateway: instance warming, backlog held")
+	// errShedQueueFull: admission control refused the request because
+	// the function already holds Config.MaxQueue invocations.
+	errShedQueueFull = errors.New("gateway: function queue full, request shed")
+	// errShedNoCapacity: the cluster cannot host another instance and no
+	// existing instance has queue room.
+	errShedNoCapacity = errors.New("gateway: cluster capacity exhausted, request shed")
+	// errShedSaturated: the warm-up hold expired without queue room.
+	errShedSaturated = errors.New("gateway: function saturated, request shed")
+	// errUndeployed: the function was deleted while the request was in
+	// flight.
+	errUndeployed = errors.New("gateway: function undeployed")
+	// errInvokeTimeout: the dispatched request outlived its deadline.
+	errInvokeTimeout = errors.New("gateway: request timed out")
+	// errInstanceStopped / errInstanceReclaimed: the owning instance
+	// shut down (undeploy) or idled out with the request still queued.
+	errInstanceStopped   = errors.New("gateway: instance stopped")
+	errInstanceReclaimed = errors.New("gateway: instance reclaimed")
+)
 
-// invoke routes one request: try existing instances, scale out if
-// needed, and wait for the batch execution to answer. While an instance
-// is warming, overflow requests are held and re-offered instead of
-// triggering a launch stampede — the gateway's analog of the simulator's
-// Pending backlog. Unlike the simulator (whose expirePending models
-// clients timing out at the SLO), a held request lives as long as the
-// HTTP client keeps waiting: a real server cannot un-answer, so it
-// serves late and lets the violation show up in ViolationRate.
+// invocationPool recycles invocation headers and their reply channels.
+// An invocation returns to the pool only when its owner is certain no
+// instance still holds a reference: after receiving the (single) reply,
+// or when it was never enqueued. Timeout/cancel paths abandon the
+// invocation to the garbage collector instead — the buffered reply
+// channel lets a late instance send complete without contaminating a
+// reused invocation.
+var invocationPool = sync.Pool{
+	New: func() any { return &invocation{respCh: make(chan invokeResult, 1)} },
+}
+
+// deadlinePool recycles the per-request deadline timers. Safe because
+// the module requires Go >= 1.23 timer semantics: Stop guarantees no
+// late send, so a recycled timer can be Reset without draining races.
+var deadlinePool = sync.Pool{}
+
+func getDeadline(d time.Duration) *time.Timer {
+	if t, ok := deadlinePool.Get().(*time.Timer); ok {
+		t.Reset(d)
+		return t
+	}
+	return time.NewTimer(d)
+}
+
+func putDeadline(t *time.Timer) {
+	t.Stop()
+	deadlinePool.Put(t)
+}
+
+// invoke routes one request: admission check, try existing instances,
+// scale out if needed, and wait for the batch execution to answer.
+// While an instance is warming, overflow requests are held and
+// re-offered instead of triggering a launch stampede — the gateway's
+// analog of the simulator's Pending backlog. Unlike the simulator
+// (whose expirePending models clients timing out at the SLO), a held
+// request lives as long as the HTTP client keeps waiting: a real server
+// cannot un-answer, so it serves late and lets the violation show up in
+// ViolationRate. The hold is bounded: when it expires, or the cluster
+// cannot grow, or the function already holds MaxQueue invocations, the
+// request sheds (429) instead of queueing unboundedly.
 func (f *function) invoke(ctx context.Context) (InvokeResponse, error) {
-	inv := &invocation{arrived: time.Now(), respCh: make(chan invokeResult, 1)}
+	if n := f.waiting.Add(1); f.maxWait > 0 && n > f.maxWait {
+		f.waiting.Add(-1)
+		f.noteArrival()
+		f.shed()
+		return InvokeResponse{}, errShedQueueFull
+	}
+	inv := invocationPool.Get().(*invocation)
+	inv.arrived = time.Now()
 	f.noteArrival()
 	slo := f.slo
 	speed := f.srv.cfg.SpeedFactor
@@ -132,21 +220,39 @@ func (f *function) invoke(ctx context.Context) (InvokeResponse, error) {
 			time.Sleep(poll)
 			continue
 		}
-		f.drop()
-		if err == errWaitWarm {
-			err = fmt.Errorf("gateway: %s saturated", f.name())
+		// Never enqueued: the invocation is exclusively ours to recycle.
+		f.waiting.Add(-1)
+		invocationPool.Put(inv)
+		switch err {
+		case errWaitWarm:
+			f.shed()
+			return InvokeResponse{}, errShedSaturated
+		case errShedNoCapacity:
+			f.shed()
+			return InvokeResponse{}, err
+		default: // errUndeployed
+			f.drop()
+			return InvokeResponse{}, err
 		}
-		return InvokeResponse{}, err
 	}
-	deadline := time.NewTimer(scale(4*slo, f.srv.cfg.SpeedFactor) + time.Second)
-	defer deadline.Stop()
+	deadline := getDeadline(scale(4*slo, speed) + time.Second)
 	select {
 	case r := <-inv.respCh:
+		f.waiting.Add(-1)
+		putDeadline(deadline)
+		// The single reply has been received; no instance holds inv.
+		invocationPool.Put(inv)
 		return r.res, r.err
 	case <-ctx.Done():
+		// inv stays with its instance; abandon it to the GC (its
+		// buffered channel absorbs the eventual reply).
+		f.waiting.Add(-1)
+		putDeadline(deadline)
 		return InvokeResponse{}, ctx.Err()
 	case <-deadline.C:
-		return InvokeResponse{}, fmt.Errorf("gateway: %s timed out", f.name())
+		f.waiting.Add(-1)
+		putDeadline(deadline)
+		return InvokeResponse{}, errInvokeTimeout
 	}
 }
 
@@ -154,15 +260,15 @@ func (f *function) invoke(ctx context.Context) (InvokeResponse, error) {
 // highest saturation rate r_up — a greedy approximation of INFless
 // non-uniform dispatching (the simulator weights dispatch credits by
 // r_up the same way), so load concentrates on big-batch instances and
-// undersized ones from the startup ramp starve and idle out.
+// undersized ones from the startup ramp starve and idle out. The walk
+// is lock-free and allocation-free: the r_up order was applied when the
+// membership snapshot was published, not per request.
 func (f *function) offer(inv *invocation) bool {
-	f.mu.Lock()
-	insts := f.pool.Snapshot()
-	f.mu.Unlock()
-	sort.Slice(insts, func(i, j int) bool {
-		return insts[i].cand.Bounds.RUp > insts[j].cand.Bounds.RUp
-	})
-	for _, inst := range insts {
+	p := f.insts.Load()
+	if p == nil {
+		return false
+	}
+	for _, inst := range *p {
 		select {
 		case inst.reqCh <- inv:
 			return true
@@ -180,7 +286,7 @@ func (f *function) scaleOut() error {
 	f.mu.Lock()
 	if f.closed {
 		f.mu.Unlock()
-		return fmt.Errorf("gateway: %s is undeployed", f.name())
+		return errUndeployed
 	}
 	// One launch at a time: while an instance is warming, hold the
 	// backlog instead of stampeding into more launches (the simulator's
@@ -218,7 +324,7 @@ func (f *function) scaleOut() error {
 	f.srv.clMu.Unlock()
 	if len(decisions) == 0 {
 		f.mu.Unlock()
-		return fmt.Errorf("gateway: cluster cannot host another %s instance", f.name())
+		return errShedNoCapacity
 	}
 	d := decisions[0]
 	coldDur := modelColdStart(f.model)
@@ -251,6 +357,7 @@ func (f *function) scaleOut() error {
 		rng:    rand.New(rand.NewSource(f.srv.cfg.Seed + int64(f.pool.Len()) + 7)),
 	}
 	f.pool.Add(inst)
+	f.publishInstances()
 	f.mu.Unlock()
 	now = f.srv.planeNow()
 	f.srv.obs.InstanceLaunched(f.name(), inst.id, true, coldDur, now)
@@ -283,11 +390,21 @@ func (f *function) drop() {
 	f.srv.obs.RequestDropped(f.name(), f.srv.planeNow())
 }
 
+// shed records an admission-control refusal: the request is dropped
+// (it keeps its place in loss accounting) AND shed (the cause surfaces
+// in infless_shed_total and the snapshot's "shed" field).
+func (f *function) shed() {
+	now := f.srv.planeNow()
+	f.srv.obs.RequestDropped(f.name(), now)
+	f.srv.obs.RequestShed(f.name(), now)
+}
+
 // shutdown stops every instance and releases resources.
 func (f *function) shutdown() {
 	f.mu.Lock()
 	f.closed = true
 	insts := f.pool.Clear()
+	f.publishInstances()
 	f.mu.Unlock()
 	f.srv.rates.Remove(f.name())
 	for _, inst := range insts {
@@ -300,6 +417,7 @@ func (f *function) shutdown() {
 func (f *function) remove(inst *instance) {
 	f.mu.Lock()
 	f.pool.Remove(inst)
+	f.publishInstances()
 	f.mu.Unlock()
 	f.srv.clMu.Lock()
 	f.srv.cfg.Cluster.Release(inst.server, inst.cand.Res, f.model.MemoryMB)
@@ -318,12 +436,18 @@ func (inst *instance) stop() {
 
 // loop is the instance goroutine: wait for a head request, collect a
 // batch until full or the head times out, emulate execution, respond.
+// The batch slice and the flush timer are hoisted out of the loop and
+// reused, so a steady-state batch round allocates nothing.
 func (inst *instance) loop() {
 	f := inst.f
 	speed := f.srv.cfg.SpeedFactor
 	timeout := scale(f.batch.Timeout(inst.cand.TExec), speed)
 	idle := time.NewTimer(f.srv.cfg.IdleTimeout)
 	defer idle.Stop()
+	batch := make([]*invocation, 0, inst.cand.B)
+	flush := time.NewTimer(time.Hour)
+	flush.Stop()
+	defer flush.Stop()
 
 	// Cold start: the instance is not serving until the model loads.
 	coldUntil := inst.warmAt
@@ -331,7 +455,7 @@ func (inst *instance) loop() {
 		select {
 		case <-time.After(d):
 		case <-inst.quit:
-			inst.failAll(fmt.Errorf("gateway: instance stopped"))
+			inst.failAll(errInstanceStopped)
 			f.remove(inst)
 			return
 		}
@@ -341,8 +465,8 @@ func (inst *instance) loop() {
 		idle.Reset(f.srv.cfg.IdleTimeout)
 		select {
 		case head := <-inst.reqCh:
-			batch := []*invocation{head}
-			flush := time.NewTimer(timeout)
+			batch = append(batch[:0], head)
+			flush.Reset(timeout)
 		collect:
 			for len(batch) < inst.cand.B {
 				select {
@@ -352,7 +476,7 @@ func (inst *instance) loop() {
 					break collect
 				case <-inst.quit:
 					flush.Stop()
-					inst.respond(batch, fmt.Errorf("gateway: instance stopped"))
+					inst.respond(batch, errInstanceStopped)
 					f.remove(inst)
 					return
 				}
@@ -369,7 +493,7 @@ func (inst *instance) loop() {
 			f.remove(inst)
 			return
 		case <-inst.quit:
-			inst.failAll(fmt.Errorf("gateway: instance stopped"))
+			inst.failAll(errInstanceStopped)
 			f.remove(inst)
 			return
 		}
@@ -428,7 +552,7 @@ func (inst *instance) failAll(err error) {
 			if err != nil {
 				inv.respCh <- invokeResult{err: err}
 			} else {
-				inv.respCh <- invokeResult{err: fmt.Errorf("gateway: instance reclaimed")}
+				inv.respCh <- invokeResult{err: errInstanceReclaimed}
 			}
 		default:
 			return

@@ -27,8 +27,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"math/rand"
+	"io"
+	"math"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -71,6 +73,11 @@ type Config struct {
 	Collector *telemetry.Collector
 	// Seed drives execution-time noise.
 	Seed int64
+	// MaxQueue bounds how many invocations of one function may be in
+	// flight inside the gateway (queued for dispatch or executing) before
+	// admission control sheds new arrivals with 429 + Retry-After instead
+	// of queueing unboundedly. Default 512; negative disables the bound.
+	MaxQueue int
 	// Storage, when active, enables multi-tier artifact loading: cold
 	// starts are priced by the tier holding the checkpoint on the chosen
 	// server (promoting it up the hierarchy) instead of the scalar
@@ -90,9 +97,10 @@ type Server struct {
 	obs   runtime.Observers
 	col   *telemetry.Collector
 
-	mu  sync.Mutex
-	fns map[string]*function
-	rng *rand.Rand
+	// tbl is the copy-on-write function table: handleInvoke resolves
+	// names against an atomic snapshot with no lock; deploy/undeploy
+	// serialize on tbl.mu and publish new snapshots (see table.go).
+	tbl *funcTable
 
 	// rates holds every function's arrival-rate estimator, striped by
 	// function name so concurrent invocations of different functions
@@ -138,6 +146,9 @@ func New(cfg Config) *Server {
 	if cfg.Collector == nil {
 		cfg.Collector = telemetry.New(telemetry.Options{Window: time.Minute})
 	}
+	if cfg.MaxQueue == 0 {
+		cfg.MaxQueue = 512
+	}
 	s := &Server{
 		mux:   http.NewServeMux(),
 		cfg:   cfg,
@@ -145,8 +156,7 @@ func New(cfg Config) *Server {
 		reg:   core.NewRegistry(),
 		epoch: time.Now(),
 		col:   cfg.Collector,
-		fns:   map[string]*function{},
-		rng:   rand.New(rand.NewSource(cfg.Seed + 1)),
+		tbl:   newFuncTable(),
 		rates: runtime.NewRateStripes(cfg.RateWindow),
 	}
 	s.obs = runtime.Observers{s.col}
@@ -191,13 +201,9 @@ func (s *Server) PlaneNow() time.Duration { return s.planeNow() }
 
 // Close stops all function instances and releases their resources.
 func (s *Server) Close() {
-	s.mu.Lock()
-	fns := make([]*function, 0, len(s.fns))
-	for _, f := range s.fns {
-		fns = append(fns, f)
-	}
-	s.fns = map[string]*function{}
-	s.mu.Unlock()
+	s.tbl.mu.Lock()
+	fns := s.tbl.clearLocked()
+	s.tbl.mu.Unlock()
 	for _, f := range fns {
 		f.shutdown()
 	}
@@ -229,18 +235,16 @@ func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
 			Name: req.Name, ModelName: req.Model, SLO: slo, MaxBatchSize: req.MaxBatch,
 		})
 	case ct == "text/yaml" || ct == "application/x-yaml":
-		buf := make([]byte, 0, 4096)
-		tmp := make([]byte, 4096)
-		for {
-			n, err := r.Body.Read(tmp)
-			buf = append(buf, tmp[:n]...)
-			if err != nil {
-				break
-			}
-			if len(buf) > 1<<20 {
-				httpError(w, http.StatusRequestEntityTooLarge, "template too large")
+		buf, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+		if err != nil {
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				httpError(w, http.StatusRequestEntityTooLarge,
+					"template too large (limit %d bytes)", mbe.Limit)
 				return
 			}
+			httpError(w, http.StatusBadRequest, "read template: %v", err)
+			return
 		}
 		fns, err := core.ParseTemplate(string(buf))
 		if err != nil {
@@ -284,14 +288,21 @@ type statusError struct {
 func (e *statusError) Error() string { return e.msg }
 
 func (s *Server) deploy(e core.RegistryEntry) error {
-	s.mu.Lock()
-	_, exists := s.fns[e.Name]
-	s.mu.Unlock()
-	if exists {
+	// The whole deploy sequence — duplicate check, registry write, plan
+	// construction, table publish — runs under the table's writer lock,
+	// so two racing deploys of one name serialize: exactly one passes
+	// the check and the loser cannot register first and then lose the
+	// publish (the rollback leak where its registry entry survived a
+	// 409). Deploys are human-rate; holding the writer lock across plan
+	// construction never touches the lock-free invoke path.
+	s.tbl.mu.Lock()
+	if _, exists := s.tbl.lookup(e.Name); exists {
+		s.tbl.mu.Unlock()
 		return &statusError{http.StatusConflict,
 			fmt.Sprintf("gateway: function %s already deployed", e.Name)}
 	}
 	if err := s.reg.Register(e); err != nil {
+		s.tbl.mu.Unlock()
 		return err
 	}
 	m := model.MustGet(e.ModelName)
@@ -299,23 +310,27 @@ func (s *Server) deploy(e core.RegistryEntry) error {
 		s.pred, scheduler.Options{MaxInstancesPerCall: 1})
 	if !plan.Feasible() {
 		s.reg.Delete(e.Name)
+		s.tbl.mu.Unlock()
 		return fmt.Errorf("gateway: no configuration of %s meets %v", e.ModelName, e.SLO)
 	}
 	f := &function{
-		srv:   s,
-		model: m,
-		plan:  plan,
-		slo:   e.SLO,
-		batch: runtime.BatchPolicy{SLO: e.SLO},
+		srv:     s,
+		model:   m,
+		plan:    plan,
+		slo:     e.SLO,
+		batch:   runtime.BatchPolicy{SLO: e.SLO},
+		maxWait: int64(s.cfg.MaxQueue),
 	}
-	s.mu.Lock()
-	if _, exists := s.fns[e.Name]; exists {
-		s.mu.Unlock()
+	f.publishInstances()
+	if !s.tbl.insertLocked(e.Name, f) {
+		// Unreachable while deploys serialize on tbl.mu, but if it ever
+		// races, never leak the registry entry behind the 409.
+		s.reg.Delete(e.Name)
+		s.tbl.mu.Unlock()
 		return &statusError{http.StatusConflict,
 			fmt.Sprintf("gateway: function %s already deployed", e.Name)}
 	}
-	s.fns[e.Name] = f
-	s.mu.Unlock()
+	s.tbl.mu.Unlock()
 	if s.cfg.Storage.Active() {
 		// Seed the checkpoint on every server's SSD — the legacy formula's
 		// assumption — so the first tiered launch prices like the scalar
@@ -325,7 +340,7 @@ func (s *Server) deploy(e core.RegistryEntry) error {
 		s.clMu.Unlock()
 	}
 	// Collector entry points take their own locks and must never run
-	// under s.mu (lockedcallback). An invocation racing this Register
+	// under tbl.mu (lockedcallback). An invocation racing this Register
 	// auto-registers the name with no SLO and the Register below then
 	// sets it, so at worst a request in that window skips violation
 	// accounting.
@@ -339,15 +354,18 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	s.mu.Lock()
-	f, ok := s.fns[name]
-	delete(s.fns, name)
-	s.mu.Unlock()
+	s.tbl.mu.Lock()
+	f, ok := s.tbl.removeLocked(name)
+	if ok {
+		// Registry and table stay consistent: both writes happen under
+		// the same writer lock (same order as deploy: tbl.mu then reg.mu).
+		s.reg.Delete(name)
+	}
+	s.tbl.mu.Unlock()
 	if !ok {
 		httpError(w, http.StatusNotFound, "unknown function %s", name)
 		return
 	}
-	s.reg.Delete(name)
 	f.shutdown()
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -361,21 +379,36 @@ type InvokeResponse struct {
 	Instance  int     `json:"instance"`
 }
 
+// handleInvoke is the hot path: one lock-free table load, dispatch, and
+// a pooled response encode. Steady state allocates nothing in the
+// gateway's own code (BenchmarkHandleInvoke gates this at 0 allocs/op);
+// every error answer is a preformatted body, and saturation maps to
+// 429 + Retry-After so clients can tell "back off" from "broken".
 func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
-	name := r.PathValue("name")
-	s.mu.Lock()
-	f, ok := s.fns[name]
-	s.mu.Unlock()
+	f, ok := s.tbl.lookup(r.PathValue("name"))
 	if !ok {
-		httpError(w, http.StatusNotFound, "unknown function %s", name)
+		writeStatic(w, http.StatusNotFound, bodyUnknownFunction)
 		return
 	}
 	res, err := f.invoke(r.Context())
-	if err != nil {
+	switch err {
+	case nil:
+		writeInvokeResponse(w, &res)
+	case errShedQueueFull:
+		writeShed(w, bodyShedQueueFull)
+	case errShedNoCapacity:
+		writeShed(w, bodyShedNoCapacity)
+	case errShedSaturated:
+		writeShed(w, bodyShedSaturated)
+	case errUndeployed:
+		// The function was undeployed between lookup and dispatch: the
+		// same answer a post-delete lookup gets.
+		writeStatic(w, http.StatusNotFound, bodyUnknownFunction)
+	case errInvokeTimeout:
+		writeStatic(w, http.StatusServiceUnavailable, bodyTimeout)
+	default:
 		httpError(w, http.StatusServiceUnavailable, "%v", err)
-		return
 	}
-	writeJSON(w, http.StatusOK, res)
 }
 
 // handleMetrics renders the collector's current snapshot. The default
@@ -402,14 +435,133 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 // writeJSON answers with a JSON body and the right Content-Type. Every
-// non-Prometheus response on the REST surface goes through here or
-// httpError, so no handler can forget the header.
+// non-Prometheus response on the REST surface goes through here, the
+// pooled invoke encoders below, or httpError, so no handler can forget
+// the header. This reflective encoder serves the control surface only;
+// the invoke path uses writeInvokeResponse/writeStatic.
 func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
+	setContentTypeJSON(w.Header())
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(v)
 }
 
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// Shared header-value slices: h[k] = shared avoids http.Header.Set's
+// per-call []string{v} allocation on the hot path. The slices are
+// package-level constants in spirit — never mutated.
+var (
+	headerJSON       = []string{"application/json"}
+	headerRetryAfter = []string{"1"}
+)
+
+func setContentTypeJSON(h http.Header) { h["Content-Type"] = headerJSON }
+
+// Preformatted invoke-path bodies: the hot path never fmt.Sprintfs an
+// error. Tests assert the `{"error": ...}` shape and status code, not
+// exact prose, so the bodies stay generic (the function name is already
+// in the request URL the client sent).
+var (
+	bodyUnknownFunction = []byte("{\"error\":\"unknown function\"}\n")
+	bodyTimeout         = []byte("{\"error\":\"request timed out\"}\n")
+	bodyShedQueueFull   = []byte("{\"error\":\"function queue full; retry later\"}\n")
+	bodyShedNoCapacity  = []byte("{\"error\":\"cluster capacity exhausted; retry later\"}\n")
+	bodyShedSaturated   = []byte("{\"error\":\"function saturated; retry later\"}\n")
+)
+
+// writeStatic answers with a preformatted JSON body, allocation-free.
+func writeStatic(w http.ResponseWriter, code int, body []byte) {
+	setContentTypeJSON(w.Header())
+	w.WriteHeader(code)
+	_, _ = w.Write(body)
+}
+
+// writeShed is the admission-control answer: 429 with a Retry-After
+// hint, so a well-behaved client backs off instead of retrying hot.
+func writeShed(w http.ResponseWriter, body []byte) {
+	h := w.Header()
+	setContentTypeJSON(h)
+	h["Retry-After"] = headerRetryAfter
+	w.WriteHeader(http.StatusTooManyRequests)
+	_, _ = w.Write(body)
+}
+
+// invokeBufPool recycles response-encoding buffers across invocations.
+var invokeBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 192); return &b },
+}
+
+// writeInvokeResponse encodes InvokeResponse by hand into a pooled
+// buffer: the same document json.Marshal would produce, with zero
+// steady-state allocations. Kept in lockstep with the InvokeResponse
+// struct tags (TestWriteInvokeResponseMatchesJSON pins the equality).
+func writeInvokeResponse(w http.ResponseWriter, res *InvokeResponse) {
+	bp := invokeBufPool.Get().(*[]byte)
+	b := (*bp)[:0]
+	b = append(b, `{"function":`...)
+	b = appendJSONString(b, res.Function)
+	b = append(b, `,"latencyMs":`...)
+	b = appendJSONFloat(b, res.LatencyMs)
+	b = append(b, `,"batchSize":`...)
+	b = strconv.AppendInt(b, int64(res.BatchSize), 10)
+	b = append(b, `,"coldStart":`...)
+	b = strconv.AppendBool(b, res.ColdStart)
+	b = append(b, `,"instance":`...)
+	b = strconv.AppendInt(b, int64(res.Instance), 10)
+	b = append(b, '}', '\n')
+	setContentTypeJSON(w.Header())
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(b)
+	*bp = b
+	invokeBufPool.Put(bp)
+}
+
+// appendJSONFloat appends f the way encoding/json renders float64
+// ('f' for ordinary magnitudes, 'e' with a trimmed exponent zero at the
+// extremes), keeping the pooled encoder byte-identical to json.Marshal.
+func appendJSONFloat(b []byte, f float64) []byte {
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a JSON string literal with the same
+// escaping encoding/json applies (including its HTML-safety escapes),
+// so the pooled encoder's output is byte-identical to the reflective
+// one. Multi-byte UTF-8 passes through untouched.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == '"':
+			b = append(b, '\\', '"')
+		case c == '\\':
+			b = append(b, '\\', '\\')
+		case c == '\n':
+			b = append(b, '\\', 'n')
+		case c == '\r':
+			b = append(b, '\\', 'r')
+		case c == '\t':
+			b = append(b, '\\', 't')
+		case c < 0x20, c == '<', c == '>', c == '&':
+			b = append(b, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xF])
+		default:
+			b = append(b, c)
+		}
+	}
+	return append(b, '"')
 }

@@ -101,9 +101,7 @@ func TestCrossPlaneParity(t *testing.T) {
 	if err := gw.deploy(core.RegistryEntry{Name: "mnist", ModelName: "MNIST", SLO: slo}); err != nil {
 		t.Fatalf("deploy: %v", err)
 	}
-	gw.mu.Lock()
-	f := gw.fns["mnist"]
-	gw.mu.Unlock()
+	f, _ := gw.tbl.lookup("mnist")
 
 	total := int(rps * modelDur.Seconds())
 	interval := time.Duration(float64(time.Second) / (rps * speed))
@@ -179,9 +177,7 @@ func TestObserverSeesLifecycle(t *testing.T) {
 	if err := gw.deploy(core.RegistryEntry{Name: "f", ModelName: "MNIST", SLO: 500 * time.Millisecond}); err != nil {
 		t.Fatalf("deploy: %v", err)
 	}
-	gw.mu.Lock()
-	f := gw.fns["f"]
-	gw.mu.Unlock()
+	f, _ := gw.tbl.lookup("f")
 	if _, err := f.invoke(context.Background()); err != nil {
 		t.Fatalf("invoke: %v", err)
 	}

@@ -1,0 +1,95 @@
+package gateway
+
+// table.go is the gateway's function table: the single structure every
+// invocation consults to route a request. It is copy-on-write — readers
+// load an immutable map snapshot through one atomic pointer and never
+// take a lock, while writers (deploy, undeploy, Close) serialize on a
+// writer mutex, build a fresh map, and publish it atomically. At
+// million-RPS dispatch rates the table is read once per request, so the
+// read side must be wait-free; writes are human-rate (deployments) and
+// can afford to copy.
+//
+// The writer mutex doubles as the deploy-sequence lock: Server.deploy
+// holds it across the duplicate check, registry registration, plan
+// construction, and publish, so two racing deploys of one name can
+// never both pass the check (the bug class where the loser returned 409
+// after registering, leaking its registry entry).
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// funcTable is the copy-on-write function map. The zero value is not
+// ready; create with newFuncTable.
+type funcTable struct {
+	// mu serializes writers and the deploy critical section. Readers
+	// never touch it.
+	mu sync.Mutex
+	v  atomic.Pointer[map[string]*function]
+}
+
+func newFuncTable() *funcTable {
+	t := &funcTable{}
+	m := map[string]*function{}
+	t.v.Store(&m)
+	return t
+}
+
+// lookup resolves a function name against the current snapshot without
+// locking: the invoke hot path.
+func (t *funcTable) lookup(name string) (*function, bool) {
+	f, ok := (*t.v.Load())[name]
+	return f, ok
+}
+
+// size returns the number of deployed functions (lock-free).
+func (t *funcTable) size() int { return len(*t.v.Load()) }
+
+// insertLocked publishes a new snapshot containing f under name; the
+// caller must hold t.mu. It reports false (and publishes nothing) when
+// the name is already present.
+func (t *funcTable) insertLocked(name string, f *function) bool {
+	cur := *t.v.Load()
+	if _, dup := cur[name]; dup {
+		return false
+	}
+	next := make(map[string]*function, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	next[name] = f
+	t.v.Store(&next)
+	return true
+}
+
+// removeLocked publishes a snapshot without name and returns the
+// removed function; the caller must hold t.mu.
+func (t *funcTable) removeLocked(name string) (*function, bool) {
+	cur := *t.v.Load()
+	f, ok := cur[name]
+	if !ok {
+		return nil, false
+	}
+	next := make(map[string]*function, len(cur)-1)
+	for k, v := range cur {
+		if k != name {
+			next[k] = v
+		}
+	}
+	t.v.Store(&next)
+	return f, true
+}
+
+// clearLocked publishes an empty snapshot and returns every previously
+// deployed function; the caller must hold t.mu.
+func (t *funcTable) clearLocked() []*function {
+	cur := *t.v.Load()
+	out := make([]*function, 0, len(cur))
+	for _, f := range cur {
+		out = append(out, f)
+	}
+	empty := map[string]*function{}
+	t.v.Store(&empty)
+	return out
+}

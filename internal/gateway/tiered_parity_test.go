@@ -77,9 +77,7 @@ func TestCrossPlaneTieredStartupParity(t *testing.T) {
 	if err := gw.deploy(core.RegistryEntry{Name: "mnist", ModelName: "MNIST", SLO: 500 * time.Millisecond}); err != nil {
 		t.Fatalf("deploy: %v", err)
 	}
-	gw.mu.Lock()
-	f := gw.fns["mnist"]
-	gw.mu.Unlock()
+	f, _ := gw.tbl.lookup("mnist")
 	if _, err := f.invoke(context.Background()); err != nil {
 		t.Fatalf("invoke: %v", err)
 	}

@@ -112,3 +112,103 @@ func TestRunAgainstGateway(t *testing.T) {
 		t.Fatalf("too few successes: %+v", stats)
 	}
 }
+
+// TestRunClosedLoop: fixed connections issuing back-to-back requests.
+func TestRunClosedLoop(t *testing.T) {
+	var hits atomic.Uint64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	stats, err := Run(context.Background(), Config{
+		URL:         ts.URL,
+		Mode:        ModeClosed,
+		Duration:    300 * time.Millisecond,
+		Connections: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.OK == 0 || stats.OK > hits.Load() || stats.Failed != 0 {
+		t.Fatalf("stats = %+v (hits %d)", stats, hits.Load())
+	}
+	if stats.RPS <= 0 || stats.P999Ms < stats.P99Ms {
+		t.Fatalf("derived stats inconsistent: %+v", stats)
+	}
+}
+
+// TestRunCountsSheds: 429 responses are sheds, not failures.
+func TestRunCountsSheds(t *testing.T) {
+	var n atomic.Uint64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1)%2 == 0 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+	stats, err := Run(context.Background(), Config{
+		URL:         ts.URL,
+		Trace:       workload.Constant(50, time.Second, time.Second),
+		SpeedFactor: 20,
+		Seed:        5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Shed == 0 || stats.Failed != 0 || stats.OK == 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.Sent != stats.OK+stats.Shed {
+		t.Fatalf("sent %d != ok %d + shed %d", stats.Sent, stats.OK, stats.Shed)
+	}
+}
+
+// TestSaturateStopsAtCollapse: a server that sheds everything above a
+// fixed service rate caps the ramp, and the search reports the curve.
+func TestSaturateStopsAtCollapse(t *testing.T) {
+	var inFlight atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if inFlight.Add(1) > 16 {
+			inFlight.Add(-1)
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		time.Sleep(5 * time.Millisecond) // ~3200 rps capacity across 16 slots
+		inFlight.Add(-1)
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	res, err := Saturate(context.Background(), SaturationConfig{
+		URL:          ts.URL,
+		StartRPS:     100,
+		Growth:       4,
+		StepDuration: 400 * time.Millisecond,
+		MaxSteps:     6,
+		Connections:  32,
+		Seed:         7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) == 0 {
+		t.Fatal("no steps recorded")
+	}
+	last := res.Steps[len(res.Steps)-1]
+	if last.Sustained && len(res.Steps) == 6 {
+		t.Logf("server never collapsed within MaxSteps: %+v", res)
+	}
+	if res.MaxSustainedRPS <= 0 {
+		t.Fatalf("no sustained step: %+v", res)
+	}
+	for i := 1; i < len(res.Steps); i++ {
+		if res.Steps[i-1].Sustained == false {
+			t.Fatalf("search continued past unsustained step %d: %+v", i-1, res.Steps)
+		}
+	}
+}

@@ -57,6 +57,19 @@ type StartupObserver interface {
 	InstanceStartup(fn string, instance int, bd artifact.Breakdown, now time.Duration)
 }
 
+// ShedObserver is an optional extension of Observer for planes with
+// admission control: RequestShed fires when a request is refused at the
+// front door (queue bound hit, capacity exhausted, warm-up backlog
+// expired) rather than accepted and later lost. Every shed request also
+// fires RequestDropped — shed is a *refinement* of dropped, so drop
+// accounting and SLO attainment keep their meaning for observers that
+// never learn about shedding.
+type ShedObserver interface {
+	// RequestShed fires when admission control refuses a request (the
+	// gateway answers 429 with a Retry-After hint).
+	RequestShed(fn string, now time.Duration)
+}
+
 // NopObserver implements Observer with no-ops; embed it to implement
 // only the hooks a recorder cares about.
 type NopObserver struct{}
@@ -118,6 +131,16 @@ func (os Observers) InstanceReclaimed(fn string, instance int, now time.Duration
 func (os Observers) AllocationChanged(alloc perf.Resources, now time.Duration) {
 	for _, o := range os {
 		o.AllocationChanged(alloc, now)
+	}
+}
+
+// RequestShed fans the optional admission-control event out to the
+// observers that implement ShedObserver.
+func (os Observers) RequestShed(fn string, now time.Duration) {
+	for _, o := range os {
+		if so, ok := o.(ShedObserver); ok {
+			so.RequestShed(fn, now)
+		}
 	}
 }
 

@@ -88,6 +88,7 @@ type funcStats struct {
 	arrived    uint64
 	served     uint64
 	dropped    uint64
+	shed       uint64 // admission-control refusals; a subset of dropped
 	violations uint64
 	coldServed uint64
 
@@ -222,6 +223,20 @@ func (c *Collector) RequestDropped(fn string, now time.Duration) {
 	fs.mu.Lock()
 	fs.dropped++
 	fs.win.bucket(now).dropped++
+	fs.mu.Unlock()
+}
+
+// RequestShed implements runtime.ShedObserver: admission-control
+// refusals (the gateway's 429s). The plane fires RequestDropped for the
+// same request, so shed counts a cause within dropped, not extra loss.
+func (c *Collector) RequestShed(fn string, now time.Duration) {
+	c.noteTime(now)
+	if now < c.opts.Warmup {
+		return
+	}
+	fs := c.stats(fn)
+	fs.mu.Lock()
+	fs.shed++
 	fs.mu.Unlock()
 }
 

@@ -30,6 +30,11 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 			fmt.Fprintf(b, "infless_requests_total{function=%q,outcome=\"dropped\"} %d\n", f.Name, f.Dropped)
 		}
 	})
+	counter("infless_shed_total", "Requests refused by admission control (HTTP 429; also counted in dropped).", func() {
+		for _, f := range s.Functions {
+			fmt.Fprintf(b, "infless_shed_total{function=%q} %d\n", f.Name, f.Shed)
+		}
+	})
 	counter("infless_slo_violations_total", "Served requests that exceeded the function SLO.", func() {
 		for _, f := range s.Functions {
 			fmt.Fprintf(b, "infless_slo_violations_total{function=%q} %d\n", f.Name, f.Violations)

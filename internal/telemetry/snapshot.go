@@ -13,8 +13,10 @@ import (
 )
 
 // SchemaVersion identifies the snapshot document layout. Version 2
-// added the optional per-function "startup" breakdown (tiered storage).
-const SchemaVersion = 2
+// added the optional per-function "startup" breakdown (tiered storage);
+// version 3 added the optional per-function "shed" counter
+// (admission-control refusals, a subset of dropped).
+const SchemaVersion = 3
 
 // Snapshot is one consistent view of everything the collector knows.
 type Snapshot struct {
@@ -30,9 +32,13 @@ type FunctionSnapshot struct {
 	Name  string  `json:"name"`
 	SLOMs float64 `json:"sloMs"`
 
-	Arrived    uint64 `json:"arrived"`
-	Served     uint64 `json:"served"`
-	Dropped    uint64 `json:"dropped"`
+	Arrived uint64 `json:"arrived"`
+	Served  uint64 `json:"served"`
+	Dropped uint64 `json:"dropped"`
+	// Shed counts admission-control refusals (the gateway's 429s). Shed
+	// requests also count in Dropped; planes without admission control
+	// never emit the field.
+	Shed       uint64 `json:"shed,omitempty"`
 	Violations uint64 `json:"violations"`
 	ColdServed uint64 `json:"coldServed"`
 
@@ -178,6 +184,7 @@ func snapshotFunc(name string, fs *funcStats, now time.Duration) FunctionSnapsho
 		Arrived:       fs.arrived,
 		Served:        fs.served,
 		Dropped:       fs.dropped,
+		Shed:          fs.shed,
 		Violations:    fs.violations,
 		ColdServed:    fs.coldServed,
 		Batches:       fs.batches,

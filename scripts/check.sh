@@ -43,4 +43,15 @@ go run ./cmd/infless-bench -run fig16t -parallel 1 >/tmp/fig16t.p1 2>/dev/null
 go run ./cmd/infless-bench -run fig16t -parallel 4 >/tmp/fig16t.p4 2>/dev/null
 diff /tmp/fig16t.p1 /tmp/fig16t.p4
 
+echo "== gateway allocs gate (BenchmarkHandleInvoke must report 0 allocs/op)"
+bench_out=$(go test -run NONE -bench 'BenchmarkHandleInvoke$' -benchmem -benchtime 20000x ./internal/gateway/)
+echo "$bench_out"
+echo "$bench_out" | grep -q "	       0 allocs/op" || {
+	echo "FAIL: the invoke hot path allocates (want 0 allocs/op)"
+	exit 1
+}
+
+echo "== loadgen smoke (10s closed loop against a live gateway)"
+./scripts/loadgen_smoke.sh
+
 echo "OK"
