@@ -9,9 +9,13 @@ check:
 
 ## lint: the static-analysis suite (wallclock, maporder, singledef,
 ## serverscan, lockedcallback, and the flow-sensitive lockorder,
-## pooledref, errflow — see internal/analysis).
+## atomicsnapshot, poolcontract, hotalloc, errflow — see
+## internal/analysis). Prints its own wall time; check.sh enforces a
+## 60s budget on the same run.
 lint:
-	$(GO) run ./cmd/infless-lint ./...
+	@start=$$(date +%s); \
+	$(GO) run ./cmd/infless-lint ./... || exit $$?; \
+	echo "infless-lint: $$(( $$(date +%s) - start ))s"
 
 ## lint-json: same findings as a stable JSON array ({file, line, col,
 ## analyzer, message, suppressed}); CI turns it into ::error annotations.
@@ -28,10 +32,11 @@ test:
 	$(GO) test ./...
 
 ## race: the packages exercised concurrently (wall-clock gateway, the
-## runtime policies it shares with the simulator, and the telemetry
-## collector both planes feed from many goroutines).
+## runtime policies it shares with the simulator, the telemetry
+## collector both planes feed from many goroutines, the loadgen worker
+## pool, and the COW function registry).
 race:
-	$(GO) test -race ./internal/gateway/... ./internal/runtime/... ./internal/telemetry/...
+	$(GO) test -race ./internal/gateway/... ./internal/runtime/... ./internal/telemetry/... ./internal/loadgen/... ./internal/core/...
 
 bench:
 	$(GO) test -bench=. -benchmem -run=NONE ./...

@@ -5,7 +5,7 @@
 // packages and the single-sourcing of runtime policies extracted in the
 // shared internal/runtime layer.
 //
-// Eight analyzers run over the whole module:
+// Ten analyzers run over the whole module:
 //
 //   - wallclock:      no wall-clock time or global math/rand in the
 //     deterministic packages; time flows through simclock, randomness
@@ -23,16 +23,28 @@
 //     Collector entry points are never invoked between a mutex Lock and
 //     its Unlock in the gateway or telemetry packages.
 //
-// Three further analyzers are flow-sensitive, built on the package's
-// CFG + dataflow layer (cfg.go, dataflow.go, callgraph.go):
+// Five further analyzers are flow-sensitive, built on the package's
+// CFG + dataflow layer (cfg.go, dataflow.go, callgraph.go) and the
+// intraprocedural alias pass (alias.go):
 //
-//   - lockorder:  mutex acquisition order is globally consistent; a
+//   - lockorder:      mutex acquisition order is globally consistent; a
 //     cycle in the lock graph (including one through a call chain) is a
 //     latent deadlock, and re-acquiring a held mutex a certain one.
-//   - pooledref:  stored *simclock.Event references obey the pooling
-//     contract — callbacks drop the stored reference on every path and
-//     Cancel sites clear the field before function exit.
-//   - errflow:    control-plane packages never silently drop error
+//   - atomicsnapshot: copy-on-write discipline for the atomic.Pointer-
+//     published maps/slices in SnapshotContracts — loaded snapshots are
+//     read-only (directly or via an alias or mutating callee), Store
+//     arguments are fresh copies built on that path, and Store sites
+//     hold the declared writer mutex.
+//   - poolcontract:   pooled objects obey the declarative ownership
+//     table in PoolContracts — no use-after-recycle, no double-recycle,
+//     no escape via channel send or field store without a declared
+//     ownership transfer (subsumes the old simclock-only pooledref).
+//   - hotalloc:       functions marked //lint:hotpath and everything
+//     they reach in the call graph contain no allocating constructs
+//     (composite literals, make/new, closures, fmt, string
+//     concatenation, interface boxing); //lint:coldpath stops the
+//     descent at deliberate slow paths.
+//   - errflow:        control-plane packages never silently drop error
 //     results, whether discarded at the call or assigned to a variable
 //     no path reads.
 //
@@ -80,10 +92,13 @@ type Unit struct {
 	Fset *token.FileSet
 	Pkgs []*Package
 
-	// Invariants and Forbidden override the production tables from
-	// invariants.go; nil means production. Tests point them at testdata.
+	// Invariants, Forbidden, Snapshots and Pools override the
+	// production tables from invariants.go; nil means production.
+	// Tests point them at testdata.
 	Invariants []SingleDef
 	Forbidden  []ForbiddenDecl
+	Snapshots  []SnapshotContract
+	Pools      []PoolContract
 }
 
 // Analyzer is one named check over a Unit.
@@ -286,7 +301,9 @@ func Analyzers() []*Analyzer {
 		ServerScanAnalyzer,
 		LockedCallbackAnalyzer,
 		LockOrderAnalyzer,
-		PooledRefAnalyzer,
+		AtomicSnapshotAnalyzer,
+		PoolContractAnalyzer,
+		HotAllocAnalyzer,
 		ErrFlowAnalyzer,
 	}
 }

@@ -1,8 +1,9 @@
 package analysis
 
 // cfg.go builds a per-function control-flow graph over go/ast — the
-// substrate for the flow-sensitive analyzers (lockorder, pooledref,
-// errflow). Blocks carry statement-level nodes in execution order;
+// substrate for the flow-sensitive analyzers (lockorder,
+// atomicsnapshot, poolcontract, hotalloc, errflow). Blocks carry
+// statement-level nodes in execution order;
 // edges cover branches, loops (with labeled break/continue), switch
 // fallthrough, select, goto, and early returns. `defer` statements stay
 // in flow order inside their block and are additionally collected in

@@ -68,7 +68,7 @@ func seededViolation() time.Duration { return time.Since(time.Unix(0, 0)) }
 
 // TestDriverSeededFlowViolations seeds one violation per flow-sensitive
 // analyzer into a copy of the tree and checks both output formats: text
-// mode names all three analyzers and exits non-zero; JSON mode carries
+// mode names every seeded analyzer and exits non-zero; JSON mode carries
 // the same findings in the stable schema, with the tree's own
 // //lint:ignore'd findings present but marked suppressed.
 func TestDriverSeededFlowViolations(t *testing.T) {
@@ -102,7 +102,7 @@ func (p *zzPair) zzInverted() {
 	p.b.mu.Unlock()
 }
 `,
-		filepath.Join(tmp, "internal", "sim", "zz_seeded_pooledref.go"): `package sim
+		filepath.Join(tmp, "internal", "sim", "zz_seeded_poolcontract.go"): `package sim
 
 import "github.com/tanklab/infless/internal/simclock"
 
@@ -125,6 +125,36 @@ func zzDrop() {
 	zzWork()
 }
 `,
+		filepath.Join(tmp, "internal", "gateway", "zz_seeded_atomicsnapshot.go"): `package gateway
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type zzTable struct {
+	mu sync.Mutex
+	v  atomic.Pointer[map[string]int]
+}
+
+func (t *zzTable) zzSwap() {
+	m := map[string]int{}
+	t.mu.Lock()
+	t.v.Store(&m)
+	t.mu.Unlock()
+}
+`,
+		filepath.Join(tmp, "internal", "gateway", "zz_seeded_hotalloc.go"): `package gateway
+
+//lint:hotpath
+func zzHot(name string) string {
+	return zzDecorate(name)
+}
+
+func zzDecorate(s string) string {
+	return s + "!"
+}
+`,
 	}
 	for path, src := range seeds {
 		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
@@ -136,7 +166,7 @@ func zzDrop() {
 	if code := Main(&out, tmp, []string{"./..."}); code != ExitDiags {
 		t.Fatalf("seeded violations: exit %d, want %d\n%s", code, ExitDiags, out.String())
 	}
-	for _, name := range []string{"lockorder", "pooledref", "errflow"} {
+	for _, name := range []string{"lockorder", "poolcontract", "errflow", "atomicsnapshot", "hotalloc"} {
 		if !strings.Contains(out.String(), "["+name+"]") {
 			t.Errorf("text output should carry a %s finding:\n%s", name, out.String())
 		}
@@ -162,7 +192,7 @@ func zzDrop() {
 		}
 		active[d.Analyzer] = true
 	}
-	for _, name := range []string{"lockorder", "pooledref", "errflow"} {
+	for _, name := range []string{"lockorder", "poolcontract", "errflow", "atomicsnapshot", "hotalloc"} {
 		if !active[name] {
 			t.Errorf("json output should carry an unsuppressed %s finding", name)
 		}

@@ -1,0 +1,60 @@
+// Package aliaspass exercises the intraprocedural alias pass: ident
+// reassignment, pure copy chains, field and index loads, range heads,
+// self-assignment cycles, and zero-value declarations.
+package aliaspass
+
+type box struct {
+	events []*box
+	m      map[string]*box
+	next   *box
+}
+
+func reassign(a, b *box) *box {
+	x := a
+	x = b
+	return x
+}
+
+func chainCopy(a *box) *box {
+	x := a
+	y := x
+	z := y
+	return z
+}
+
+func fieldLoad(h *box) *box {
+	ev := h.next
+	return ev
+}
+
+func indexLoad(m map[string]*box, k string) (*box, bool) {
+	v, ok := m[k]
+	return v, ok
+}
+
+func rangeHeads(h *box) int {
+	n := 0
+	for i, e := range h.events {
+		n += i
+		if e != nil {
+			n++
+		}
+	}
+	for k, v := range h.m {
+		if k != "" && v != nil {
+			n++
+		}
+	}
+	return n
+}
+
+func selfAssign(h *box) *box {
+	x := h.next
+	x = x
+	return x
+}
+
+func zeroDecl() *box {
+	var x *box
+	return x
+}

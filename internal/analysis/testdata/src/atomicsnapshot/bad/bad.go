@@ -1,0 +1,112 @@
+// Package asbad violates the copy-on-write publication contract on
+// both sides: loaded snapshots mutated in place (directly, through an
+// alias, and through a mutating callee), Store arguments that are not
+// fresh on every path, Stores without the writer mutex, and an
+// atomic.Pointer container with no declared contract at all.
+package asbad
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+type table struct {
+	mu sync.Mutex
+	v  atomic.Pointer[map[string]int]
+}
+
+type list struct {
+	mu sync.Mutex
+	v  atomic.Pointer[[]int]
+}
+
+// direct writes into the shared snapshot without copying.
+func (t *table) direct(k string) {
+	(*t.v.Load())[k] = 1 // want "write into a snapshot loaded from table.v"
+}
+
+// viaLocal mutates the snapshot through a local.
+func (t *table) viaLocal(k string) {
+	m := *t.v.Load()
+	m[k] = 1 // want "write into a snapshot loaded from table.v"
+}
+
+// viaAlias mutates the snapshot through an alias of an alias.
+func (t *table) viaAlias(k string) {
+	m := *t.v.Load()
+	m2 := m
+	delete(m2, k) // want "delete from a snapshot loaded from table.v"
+}
+
+func mutate(m map[string]int) {
+	m["x"] = 1
+}
+
+// viaCallee hands the snapshot to a function that mutates its parameter.
+func (t *table) viaCallee() {
+	m := *t.v.Load()
+	mutate(m) // want "passed to asbad.mutate, which mutates that parameter"
+}
+
+// sorts reorders the shared backing array of a loaded slice.
+func (l *list) sorts() {
+	s := *l.v.Load()
+	sort.Ints(s) // want "sort a snapshot loaded from list.v"
+}
+
+// grows appends to the loaded slice, racing the published length.
+func (l *list) grows(n int) {
+	s := *l.v.Load()
+	_ = append(s, n) // want "append to a snapshot loaded from list.v"
+}
+
+// storeShared publishes a caller-supplied map: not a fresh copy.
+func (t *table) storeShared(m *map[string]int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.v.Store(m) // want "not a fresh container built on every path"
+}
+
+// storeHalfFresh is fresh on one branch only.
+func (t *table) storeHalfFresh(flip bool, shared *map[string]int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	m := &map[string]int{}
+	if flip {
+		m = shared
+	}
+	t.v.Store(m) // want "not a fresh container built on every path"
+}
+
+// storeUnlocked swaps without the writer mutex (and has no caller that
+// could hold it).
+func (t *table) storeUnlocked() {
+	m := map[string]int{}
+	t.v.Store(&m) // want "without table.mu held on every path"
+}
+
+// storeHalfLocked holds the mutex on one path only.
+func (t *table) storeHalfLocked(flip bool) {
+	if flip {
+		t.mu.Lock()
+	}
+	m := map[string]int{}
+	t.v.Store(&m) // want "without table.mu held on every path"
+	if flip {
+		t.mu.Unlock()
+	}
+}
+
+// rogue publishes through an atomic.Pointer with no contract entry.
+type rogue struct {
+	mu sync.Mutex
+	v  atomic.Pointer[[]int]
+}
+
+func (r *rogue) publish() {
+	s := []int{}
+	r.mu.Lock()
+	r.v.Store(&s) // want "no SnapshotContract entry"
+	r.mu.Unlock()
+}

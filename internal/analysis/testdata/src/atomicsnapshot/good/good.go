@@ -1,0 +1,78 @@
+// Package asgood follows the copy-on-write publication discipline: read
+// snapshots stay read-only, every Store argument is a container built
+// fresh on that path, and every swap happens under the declared writer
+// mutex (held here, held in every caller, or on a receiver that is not
+// yet published).
+package asgood
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type table struct {
+	mu sync.Mutex
+	v  atomic.Pointer[map[string]int]
+}
+
+type list struct {
+	mu sync.Mutex
+	v  atomic.Pointer[[]int]
+}
+
+// newTable stores on a fresh, unpublished receiver: no lock needed yet.
+func newTable() *table {
+	t := &table{}
+	m := map[string]int{}
+	t.v.Store(&m)
+	return t
+}
+
+// insert is the canonical copy-mutate-swap: load, copy into a fresh map,
+// mutate the copy, publish under the writer mutex.
+func (t *table) insert(k string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur := *t.v.Load()
+	next := make(map[string]int, len(cur)+1)
+	for key, val := range cur {
+		next[key] = val
+	}
+	next[k] = 1
+	t.v.Store(&next)
+}
+
+// insertLocked publishes without locking locally; its only caller holds
+// the mutex, which the one-level caller check accepts.
+func (t *table) insertLocked(k string) {
+	cur := *t.v.Load()
+	next := make(map[string]int, len(cur)+1)
+	for key, val := range cur {
+		next[key] = val
+	}
+	next[k] = 1
+	t.v.Store(&next)
+}
+
+func (t *table) insertOuter(k string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.insertLocked(k)
+}
+
+// lookup reads through the snapshot without mutating it.
+func (t *table) lookup(k string) (int, bool) {
+	v, ok := (*t.v.Load())[k]
+	return v, ok
+}
+
+// replace rebuilds the slice with the append-copy idiom; the fresh fact
+// survives the self-append reassignment.
+func (l *list) replace(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cur := *l.v.Load()
+	next := append([]int(nil), cur...)
+	next = append(next, n)
+	l.v.Store(&next)
+}

@@ -1,0 +1,29 @@
+// Package assupp keeps one deliberate in-place mutation under a
+// justified directive (a pre-publication patch), plus a stale directive
+// on a clean read that the hygiene pass must report.
+package assupp
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type table struct {
+	mu sync.Mutex
+	v  atomic.Pointer[map[string]int]
+}
+
+// patch mutates the loaded map in place: justified because it runs
+// before the table is handed to any reader goroutine.
+func (t *table) patch(k string) {
+	m := *t.v.Load()
+	//lint:ignore atomicsnapshot startup-only patch; runs before the table is published to readers
+	m[k] = 1
+}
+
+// read is contract-clean; the directive below it suppresses nothing and
+// must be flagged as stale.
+func (t *table) read(k string) int {
+	//lint:ignore atomicsnapshot reads are always allowed
+	return (*t.v.Load())[k]
+}

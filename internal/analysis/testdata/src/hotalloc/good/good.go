@@ -1,0 +1,42 @@
+// Package hagood keeps its //lint:hotpath routes allocation-free: the
+// storage is hoisted behind a //lint:coldpath constructor, appends
+// amortize against a pooled buffer, struct values stay values, and
+// interface arguments are already pointer-shaped.
+package hagood
+
+type buf struct {
+	scratch []int
+}
+
+// newBuf builds the reusable storage once, off the hot route.
+//
+//lint:coldpath
+func newBuf(n int) *buf { return &buf{scratch: make([]int, 0, n)} }
+
+// serve reuses the hoisted buffer; the append base is the pooled slice,
+// not a zero-capacity literal.
+//
+//lint:hotpath
+func serve(b *buf, vals []int, sink func(int)) {
+	b.scratch = b.scratch[:0]
+	for _, v := range vals {
+		b.scratch = append(b.scratch, v)
+		sink(v)
+	}
+}
+
+//lint:hotpath
+func lookup(m map[string]int, k string) (int, bool) {
+	v, ok := m[k]
+	return v, ok
+}
+
+type sinker interface{ take(p *buf) }
+
+// give passes a pointer to an interface method: pointer-shaped values
+// do not box.
+//
+//lint:hotpath
+func give(s sinker, b *buf) {
+	s.take(b)
+}

@@ -1,0 +1,8 @@
+// Package hamis misplaces the hotpath directive: it only gates function
+// declarations, so a directive on a type is diagnosed, not ignored.
+package hamis
+
+//lint:hotpath
+type wrong struct{ n int }
+
+func use(w wrong) int { return w.n }

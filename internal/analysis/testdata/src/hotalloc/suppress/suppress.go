@@ -1,0 +1,10 @@
+// Package hasupp keeps one accepted allocation on a hot route under a
+// justified directive.
+package hasupp
+
+//lint:hotpath
+func serve(n int) int {
+	//lint:ignore hotalloc one map per config reload, measured at 0 allocs/op steady-state
+	m := map[string]int{"n": n}
+	return m["n"]
+}

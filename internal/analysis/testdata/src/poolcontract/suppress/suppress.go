@@ -13,7 +13,7 @@ type ticker struct {
 func (t *ticker) tick() {}
 
 func (t *ticker) start(period simclock.Time) {
-	//lint:ignore pooledref the callback re-arms t.ev itself; the reference is replaced, never stale
+	//lint:ignore poolcontract the callback re-arms t.ev itself; the reference is replaced, never stale
 	t.ev = t.clock.ScheduleAt(t.clock.Now()+period, func() {
 		t.tick()
 		t.start(period)

@@ -1,0 +1,55 @@
+// Package pcsbad breaks the sync.Pool ownership contract in every way
+// the analyzer names: use-after-recycle (directly and through an
+// alias), double Put on a joining path, and escapes into a channel and
+// a long-lived field without a declared ownership transfer.
+package pcsbad
+
+import "sync"
+
+type item struct{ n int }
+
+var zzPool = sync.Pool{New: func() any { return new(item) }}
+var zzXferPool = sync.Pool{New: func() any { return new(item) }}
+
+var ch = make(chan *item, 1)
+
+type holder struct{ it *item }
+
+var global holder
+
+// useAfterPut reads the object after handing it back to the pool.
+func useAfterPut() int {
+	it := zzPool.Get().(*item)
+	zzPool.Put(it)
+	return it.n // want "it used after zzPool.Put"
+}
+
+// aliasUse reads through a local alias after the recycle.
+func aliasUse() int {
+	it := zzPool.Get().(*item)
+	al := it
+	zzPool.Put(it)
+	return al.n // want "al used after zzPool.Put"
+}
+
+// doublePut recycles twice when the branch is taken.
+func doublePut(flip bool) {
+	it := zzPool.Get().(*item)
+	if flip {
+		zzPool.Put(it)
+	}
+	zzPool.Put(it) // want "may already be recycled"
+}
+
+// escapeSend hands a live pooled object to another goroutine with no
+// declared transfer (zzPool, unlike zzXferPool, has none).
+func escapeSend() {
+	it := zzPool.Get().(*item)
+	ch <- it // want "escapes via channel send"
+}
+
+// escapeField parks a live pooled object in a long-lived struct.
+func escapeField() {
+	it := zzPool.Get().(*item)
+	global.it = it // want "escapes into global.it"
+}

@@ -1,0 +1,48 @@
+// Package pcsgood follows the sync.Pool ownership contract: the
+// canonical get-use-put lifecycle, re-arming a variable after its Put,
+// returning a live object to transfer ownership to the caller, and a
+// channel send on a pool whose contract declares sends as transfers.
+package pcsgood
+
+import "sync"
+
+type item struct{ n int }
+
+var zzPool = sync.Pool{New: func() any { return new(item) }}
+var zzXferPool = sync.Pool{New: func() any { return new(item) }}
+
+var ch = make(chan *item, 1)
+
+// getUsePut is the canonical lifecycle: every read precedes the Put.
+func getUsePut() int {
+	it := zzPool.Get().(*item)
+	n := it.n
+	zzPool.Put(it)
+	return n
+}
+
+// transferSend is fine on zzXferPool: the contract says the receiving
+// goroutine takes ownership and recycles the object itself.
+func transferSend() {
+	it := zzXferPool.Get().(*item)
+	ch <- it
+}
+
+// returnLive transfers ownership to the caller; the per-body analysis
+// ends at the return.
+func returnLive() *item {
+	it := zzPool.Get().(*item)
+	it.n = 0
+	return it
+}
+
+// rearm re-acquires into the same variable after the Put; the
+// reassignment makes it live again.
+func rearm() int {
+	it := zzPool.Get().(*item)
+	zzPool.Put(it)
+	it = zzPool.Get().(*item)
+	n := it.n
+	zzPool.Put(it)
+	return n
+}

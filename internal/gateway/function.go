@@ -281,7 +281,10 @@ func (f *function) offer(inv *invocation) bool {
 // scaleOut launches one more instance via Algorithm 1 (the plan was built
 // with MaxInstancesPerCall = 1). The rate estimate lets AvailableConfig
 // admit saturable batch sizes, exactly as the autoscaler does in the
-// simulator.
+// simulator. Launching is the declared slow path off the zero-alloc
+// invoke route: it builds an instance, channels and an RNG per call.
+//
+//lint:coldpath
 func (f *function) scaleOut() error {
 	f.mu.Lock()
 	if f.closed {
@@ -505,7 +508,11 @@ func (inst *instance) loop() {
 // be multiplied by the speed factor when reporting model-time metrics.
 const dispatchAllowance = 1500 * time.Microsecond
 
-// finish answers a completed batch and records its samples.
+// finish answers a completed batch and records its samples. It runs
+// once per batch on the instance goroutine and must not allocate: a
+// batch round in steady state is reply sends and telemetry observes.
+//
+//lint:hotpath
 func (inst *instance) finish(batch []*invocation, exec time.Duration, coldUntil time.Time) {
 	speed := inst.f.srv.cfg.SpeedFactor
 	now := time.Now()

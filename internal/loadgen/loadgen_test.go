@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/tanklab/infless/internal/gateway"
+	"github.com/tanklab/infless/internal/metrics"
 	"github.com/tanklab/infless/internal/workload"
 )
 
@@ -210,5 +211,54 @@ func TestSaturateStopsAtCollapse(t *testing.T) {
 		if res.Steps[i-1].Sustained == false {
 			t.Fatalf("search continued past unsustained step %d: %+v", i-1, res.Steps)
 		}
+	}
+}
+
+// TestRecorderPoolReuse: the pooled recorder lifecycle — a recycled
+// recorder comes back fully reset under the new SLO, and consecutive
+// Run calls (Saturate's ramp pattern) do not leak counts between steps
+// through the pool.
+func TestRecorderPoolReuse(t *testing.T) {
+	r := getRecorder(10 * time.Millisecond)
+	r.Observe(metrics.Sample{Exec: 50 * time.Millisecond})
+	r.Drop()
+	putRecorder(r)
+
+	r2 := getRecorder(time.Second)
+	if r2.Served() != 0 || r2.Dropped() != 0 || r2.ViolationRate() != 0 {
+		t.Fatalf("recycled recorder carries old counts: served=%d dropped=%d", r2.Served(), r2.Dropped())
+	}
+	if r2.SLO() != time.Second {
+		t.Fatalf("recycled recorder SLO = %v, want 1s", r2.SLO())
+	}
+	putRecorder(r2)
+
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+	cfg := Config{
+		URL:         ts.URL,
+		Trace:       workload.Constant(50, time.Second, time.Second),
+		SpeedFactor: 20,
+		SLO:         time.Second,
+		Connections: 4,
+		Seed:        7,
+	}
+	first, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.OK == 0 || second.OK == 0 {
+		t.Fatalf("runs served nothing: %+v / %+v", first, second)
+	}
+	// Equal offered load: if pooled recorders leaked state, the second
+	// run's counts would include the first run's.
+	if second.Sent > 2*first.Sent || second.SLOMissRate != 0 || first.SLOMissRate != 0 {
+		t.Fatalf("second run looks contaminated: first=%+v second=%+v", first, second)
 	}
 }

@@ -110,6 +110,15 @@ func (h *Histogram) Each(fn func(upper time.Duration, count uint64)) {
 	}
 }
 
+// Reset zeroes every bucket in place, keeping the allocated bucket
+// slice — the recycle point for pooled recorders.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.total = 0
+}
+
 // Clone returns an independent copy (snapshot paths copy under lock,
 // then compute quantiles outside it).
 func (h *Histogram) Clone() Histogram {

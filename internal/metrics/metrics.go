@@ -117,6 +117,22 @@ func (r *LatencyRecorder) Breakdown() (cold, queue, exec time.Duration) {
 	return r.sumCold / n, r.sumQueue / n, r.sumExec / n
 }
 
+// Reset returns the recorder to its initial state against a new SLO,
+// keeping the histogram's bucket storage so pooled recorders do not
+// re-allocate it every reuse.
+func (r *LatencyRecorder) Reset(slo time.Duration) {
+	r.hist.Reset()
+	r.served = 0
+	r.dropped = 0
+	r.coldCount = 0
+	r.violations = 0
+	r.slo = slo
+	r.sumTotal = 0
+	r.sumCold = 0
+	r.sumQueue = 0
+	r.sumExec = 0
+}
+
 // Merge folds another recorder's counts into r (same SLO assumed).
 func (r *LatencyRecorder) Merge(o *LatencyRecorder) {
 	if o == nil {

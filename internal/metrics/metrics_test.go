@@ -166,3 +166,60 @@ func TestThroughputPerResource(t *testing.T) {
 		t.Fatal("empty integrator should yield 0")
 	}
 }
+
+// TestRecorderReset: Reset returns a used recorder to its zero state
+// under a new SLO while keeping the histogram's bucket storage, so
+// pooled recorders (internal/loadgen) neither leak old counts nor
+// re-allocate buckets on reuse.
+func TestRecorderReset(t *testing.T) {
+	r := NewLatencyRecorder(10 * time.Millisecond)
+	for i := 0; i < 100; i++ {
+		r.Observe(Sample{Cold: time.Millisecond, Queue: time.Millisecond, Exec: 20 * time.Millisecond})
+	}
+	r.Drop()
+	if r.Served() != 100 || r.Dropped() != 1 || r.ViolationRate() == 0 {
+		t.Fatalf("precondition: recorder should be dirty, got served=%d dropped=%d", r.Served(), r.Dropped())
+	}
+	buckets := &r.hist.counts[0]
+
+	r.Reset(time.Second)
+	if r.Served() != 0 || r.Dropped() != 0 || r.ColdRate() != 0 || r.ViolationRate() != 0 {
+		t.Fatalf("reset recorder still carries counts: served=%d dropped=%d", r.Served(), r.Dropped())
+	}
+	if r.SLO() != time.Second {
+		t.Fatalf("reset SLO = %v, want 1s", r.SLO())
+	}
+	if r.Percentile(0.99) != 0 || r.Mean() != 0 {
+		t.Fatal("reset recorder still reports latencies")
+	}
+	if c, q, e := r.Breakdown(); c != 0 || q != 0 || e != 0 {
+		t.Fatal("reset recorder still reports a breakdown")
+	}
+	if &r.hist.counts[0] != buckets {
+		t.Fatal("Reset re-allocated the histogram bucket slice")
+	}
+
+	// The reused recorder behaves exactly like a fresh one.
+	r.Observe(Sample{Exec: 2 * time.Second})
+	if r.Served() != 1 || r.ViolationRate() != 1 {
+		t.Fatalf("reused recorder miscounts: served=%d violations=%v", r.Served(), r.ViolationRate())
+	}
+}
+
+// TestHistogramReset zeroes counts in place.
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	h.Add(time.Millisecond)
+	h.Add(time.Second)
+	h.Reset()
+	if h.Count() != 0 {
+		t.Fatalf("reset histogram count = %d", h.Count())
+	}
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("reset histogram still reports quantiles")
+	}
+	h.Add(time.Millisecond)
+	if h.Count() != 1 {
+		t.Fatalf("reused histogram count = %d", h.Count())
+	}
+}

@@ -19,6 +19,11 @@ type RateEstimator struct {
 
 // NewRateEstimator creates an estimator over the given window (rounded
 // down to whole seconds, minimum one).
+//
+// First-touch construction: a function's estimator is built once per
+// deployment, off the per-arrival path that reaches get().
+//
+//lint:coldpath
 func NewRateEstimator(window time.Duration) *RateEstimator {
 	n := int(window / time.Second)
 	if n < 1 {

@@ -10,8 +10,10 @@
 # it keeps the lifecycle policies single-sourced, the deterministic
 # packages off the wall clock, placement on the free-capacity index,
 # and observer/telemetry callbacks outside mutex critical sections, and
-# runs the flow-sensitive lockorder / pooledref / errflow analyzers
-# over the whole module.
+# runs the flow-sensitive lockorder / atomicsnapshot / poolcontract /
+# hotalloc / errflow analyzers over the whole module. The lint pass has
+# a 60s budget so the whole-program analyzers stay cheap enough to run
+# on every commit.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -26,12 +28,19 @@ echo "== go build"
 go build ./...
 echo "== go vet"
 go vet ./...
-echo "== infless-lint"
+echo "== infless-lint (60s budget)"
+lint_start=$(date +%s)
 go run ./cmd/infless-lint ./...
+lint_elapsed=$(( $(date +%s) - lint_start ))
+echo "infless-lint: ${lint_elapsed}s"
+if [ "$lint_elapsed" -gt 60 ]; then
+	echo "FAIL: infless-lint exceeded its 60s budget (${lint_elapsed}s)"
+	exit 1
+fi
 echo "== go test"
 go test ./...
-echo "== go test -race (gateway + runtime + telemetry + sim)"
-go test -race ./internal/gateway/... ./internal/runtime/... ./internal/telemetry/... ./internal/sim/...
+echo "== go test -race (gateway + runtime + telemetry + sim + loadgen + core)"
+go test -race ./internal/gateway/... ./internal/runtime/... ./internal/telemetry/... ./internal/sim/... ./internal/loadgen/... ./internal/core/...
 echo "== go test -race (sharded control plane: cluster + scheduler)"
 go test -race -short ./internal/cluster/ ./internal/scheduler/
 echo "== go test -race (parallel experiment runner)"
