@@ -9,9 +9,10 @@ check:
 
 ## lint: the static-analysis suite (wallclock, maporder, singledef,
 ## serverscan, lockedcallback, and the flow-sensitive lockorder,
-## atomicsnapshot, poolcontract, hotalloc, errflow — see
-## internal/analysis). Prints its own wall time; check.sh enforces a
-## 60s budget on the same run.
+## atomicsnapshot, poolcontract, hotalloc, errflow, goroutinelife,
+## chanlife, ctxflow — see internal/analysis). Analyzers run in
+## parallel with input-ordered output. Prints its own wall time;
+## check.sh enforces a 60s budget on the same run.
 lint:
 	@start=$$(date +%s); \
 	$(GO) run ./cmd/infless-lint ./... || exit $$?; \

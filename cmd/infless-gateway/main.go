@@ -63,17 +63,33 @@ func main() {
 	gw := gateway.New(cfg)
 	srv := &http.Server{Addr: *addr, Handler: gw}
 
+	// The server runs in the goroutine and main owns shutdown, not the
+	// other way around: the old shape (a signal goroutine calling Close
+	// behind main's back) outlived main silently and swallowed the
+	// shutdown error. errCh is buffered so the serve goroutine can
+	// always deliver its result and exit, even if main is mid-teardown.
+	errCh := make(chan error, 1)
 	go func() {
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt)
-		<-sig
+		errCh <- srv.ListenAndServe()
+	}()
+	log.Printf("infless-gateway listening on %s (cluster: %d servers, speed %.0fx)", *addr, *servers, *speed)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	var err error
+	select {
+	case <-sig:
+		signal.Stop(sig)
 		fmt.Fprintln(os.Stderr, "shutting down")
 		gw.Close()
-		_ = srv.Close()
-	}()
-
-	log.Printf("infless-gateway listening on %s (cluster: %d servers, speed %.0fx)", *addr, *servers, *speed)
-	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		if cerr := srv.Close(); cerr != nil {
+			log.Printf("infless-gateway: close: %v", cerr)
+		}
+		err = <-errCh // join the serve goroutine; surfaces its exit error
+	case err = <-errCh:
+		gw.Close()
+	}
+	if err != nil && err != http.ErrServerClosed {
 		log.Fatal(err)
 	}
 }

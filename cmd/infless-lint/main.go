@@ -2,9 +2,12 @@
 // determinism, single-sourcing, placement-index and locking-discipline
 // invariants described in internal/analysis, plus the flow-sensitive
 // lockorder / atomicsnapshot / poolcontract / hotalloc / errflow
-// analyzers built on its CFG+dataflow+alias layer. It loads the whole
-// module with go/parser + go/types (standard library only) and exits
-// non-zero on any unsuppressed diagnostic.
+// analyzers and the concurrency-lifecycle trio goroutinelife /
+// chanlife / ctxflow, all built on its CFG+dataflow+alias layer. It
+// loads the whole module with go/parser + go/types (standard library
+// only), fans the analyzers out in parallel with deterministic
+// input-ordered output, and exits non-zero on any unsuppressed
+// diagnostic.
 //
 // Usage:
 //

@@ -48,6 +48,27 @@
 //     results, whether discarded at the call or assigned to a variable
 //     no path reads.
 //
+// Three more close the concurrency-lifecycle story: long-running
+// goroutines, the channels that stop them, and the contexts that cancel
+// them:
+//
+//   - goroutinelife:  every `go` statement has a provable termination
+//     path — the spawned body selects or receives on a stop channel
+//     somebody closes (or ctx.Done()), ranges over a channel with a
+//     resolved close owner, or runs a bounded loop; a send from a
+//     spawned goroutine on an unbuffered local channel whose receiver
+//     sits in a multi-arm select is the classic timeout-path leak and
+//     is diagnosed.
+//   - chanlife:       channel discipline per the declarative
+//     ChannelContracts table — exactly the declared number of close
+//     sites per channel identity, signal channels close-only, and no
+//     send (or second close) reachable after a close on any path.
+//   - ctxflow:        context hygiene — every WithCancel/WithTimeout
+//     cancel runs on every path (or transfers ownership), a function
+//     holding a ctx parameter derives from it instead of calling
+//     context.Background()/TODO(), and request-path packages never
+//     mint root contexts at all.
+//
 // A finding can be suppressed with a directive on the same line or the
 // line above:
 //
@@ -63,6 +84,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Diagnostic is one finding, rendered as "file:line:col: [name] message".
@@ -92,13 +114,14 @@ type Unit struct {
 	Fset *token.FileSet
 	Pkgs []*Package
 
-	// Invariants, Forbidden, Snapshots and Pools override the
+	// Invariants, Forbidden, Snapshots, Pools and Channels override the
 	// production tables from invariants.go; nil means production.
 	// Tests point them at testdata.
 	Invariants []SingleDef
 	Forbidden  []ForbiddenDecl
 	Snapshots  []SnapshotContract
 	Pools      []PoolContract
+	Channels   []ChannelContract
 }
 
 // Analyzer is one named check over a Unit.
@@ -246,11 +269,28 @@ func splitIgnored(diags []Diagnostic, dirs []ignoreDirective) (active, suppresse
 // real finding on that line. Directives naming analyzers outside the
 // run set are left alone so partial runs stay quiet.
 func RunAllDetail(u *Unit, analyzers []*Analyzer) (active, suppressed []Diagnostic) {
+	// The analyzers run concurrently — each is a pure function of the
+	// (immutable once loaded) unit — with the same discipline as
+	// bench.RunStream: results land in slots keyed by input index and
+	// are folded in input order, so parallelism changes wall clock and
+	// nothing else. Three whole-program flow passes joined the roster in
+	// the lifecycle PR; fanning the suite out keeps `make lint` far
+	// inside check.sh's 60s budget on multi-core hosts.
+	results := make([][]Diagnostic, len(analyzers))
+	var wg sync.WaitGroup
+	for i, a := range analyzers {
+		wg.Add(1)
+		go func(i int, a *Analyzer) {
+			defer wg.Done()
+			results[i] = a.Run(u)
+		}(i, a)
+	}
+	wg.Wait()
 	var all []Diagnostic
 	names := map[string]bool{}
-	for _, a := range analyzers {
+	for i, a := range analyzers {
 		names[a.Name] = true
-		all = append(all, a.Run(u)...)
+		all = append(all, results[i]...)
 	}
 	dirs, dirDiags := directives(u)
 	active, suppressed, used := splitIgnored(all, dirs)
@@ -305,6 +345,9 @@ func Analyzers() []*Analyzer {
 		PoolContractAnalyzer,
 		HotAllocAnalyzer,
 		ErrFlowAnalyzer,
+		GoroutineLifeAnalyzer,
+		ChanLifeAnalyzer,
+		CtxFlowAnalyzer,
 	}
 }
 

@@ -155,6 +155,32 @@ func zzDecorate(s string) string {
 	return s + "!"
 }
 `,
+		filepath.Join(tmp, "internal", "gateway", "zz_seeded_goroutinelife.go"): `package gateway
+
+var zzTick int
+
+func zzSpin() {
+	go func() {
+		for {
+			zzTick++
+		}
+	}()
+}
+`,
+		filepath.Join(tmp, "internal", "gateway", "zz_seeded_chanlife.go"): `package gateway
+
+func zzDoubleStop(inst *instance) {
+	inst.quit <- struct{}{}
+}
+`,
+		filepath.Join(tmp, "internal", "gateway", "zz_seeded_ctxflow.go"): `package gateway
+
+import "context"
+
+func zzDetached() context.Context {
+	return context.Background()
+}
+`,
 	}
 	for path, src := range seeds {
 		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
@@ -166,7 +192,8 @@ func zzDecorate(s string) string {
 	if code := Main(&out, tmp, []string{"./..."}); code != ExitDiags {
 		t.Fatalf("seeded violations: exit %d, want %d\n%s", code, ExitDiags, out.String())
 	}
-	for _, name := range []string{"lockorder", "poolcontract", "errflow", "atomicsnapshot", "hotalloc"} {
+	for _, name := range []string{"lockorder", "poolcontract", "errflow", "atomicsnapshot",
+		"hotalloc", "goroutinelife", "chanlife", "ctxflow"} {
 		if !strings.Contains(out.String(), "["+name+"]") {
 			t.Errorf("text output should carry a %s finding:\n%s", name, out.String())
 		}
@@ -192,7 +219,8 @@ func zzDecorate(s string) string {
 		}
 		active[d.Analyzer] = true
 	}
-	for _, name := range []string{"lockorder", "poolcontract", "errflow", "atomicsnapshot", "hotalloc"} {
+	for _, name := range []string{"lockorder", "poolcontract", "errflow", "atomicsnapshot",
+		"hotalloc", "goroutinelife", "chanlife", "ctxflow"} {
 		if !active[name] {
 			t.Errorf("json output should carry an unsuppressed %s finding", name)
 		}

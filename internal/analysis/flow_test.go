@@ -155,7 +155,7 @@ func TestHotAllocDirectiveMisuse(t *testing.T) {
 func TestAnalyzerRoster(t *testing.T) {
 	want := []string{"wallclock", "maporder", "singledef", "serverscan",
 		"lockedcallback", "lockorder", "atomicsnapshot", "poolcontract",
-		"hotalloc", "errflow"}
+		"hotalloc", "errflow", "goroutinelife", "chanlife", "ctxflow"}
 	got := Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(got), len(want))

@@ -113,6 +113,14 @@ var SingleDefs = []SingleDef{
 		"the pool-ownership analyzer has one home"},
 	{KindFunc, "", "runHotAlloc", "internal/analysis/hotalloc.go",
 		"the zero-alloc hot-path gate has one home"},
+	{KindType, "", "ChannelContract", "internal/analysis/invariants.go",
+		"channel lifecycle contracts are declared in one table, next to the other invariants"},
+	{KindFunc, "", "runGoroutineLife", "internal/analysis/goroutinelife.go",
+		"the goroutine-termination analyzer has one home"},
+	{KindFunc, "", "runChanLife", "internal/analysis/chanlife.go",
+		"the channel-discipline analyzer has one home"},
+	{KindFunc, "", "runCtxFlow", "internal/analysis/ctxflow.go",
+		"the context-hygiene analyzer has one home"},
 }
 
 // SnapshotContract declares one copy-on-write publication point: a
@@ -199,6 +207,78 @@ var PoolContracts = []PoolContract{
 	{Kind: PoolSync, Scope: []string{"internal/loadgen"},
 		PoolVar: "recorderPool",
 		Why:     "saturation ramps replay Run per step; recorders are pooled and reset between steps"},
+}
+
+// ChannelContract declares the lifecycle discipline of one channel
+// identity for the chanlife analyzer. A channel is identified either as
+// a struct field (Type + Field) or as a local of one function (Func +
+// Var; Func is "Recv.Method" for methods). The analyzer enforces, per
+// contract: the module contains exactly Closers static close sites for
+// the channel; a SignalOnly channel is never the target of a send; and
+// within any one function body no send or second close is reachable
+// after a close on some path (may-analysis over the CFG). Channel-typed
+// struct fields in a contracted package with no entry here are
+// themselves diagnosed — every long-lived channel must declare who
+// closes it, even if the answer is "nobody" (Closers: 0).
+type ChannelContract struct {
+	Pkg   string // module-relative package scope, e.g. "internal/gateway"
+	Type  string // struct type for field channels ("" for locals)
+	Field string // channel field name ("" for locals)
+	Func  string // declaring function for locals: "Func" or "Recv.Method"
+	Var   string // local channel variable name ("" for fields)
+
+	// Closers is the number of static close sites the module must
+	// contain for this channel identity. 0 declares a never-closed
+	// channel (receivers exit by another signal, or the channel is a
+	// per-object reply slot abandoned to the GC).
+	Closers int
+	// SignalOnly marks a close-only channel (quit/done): receivers wait
+	// for the close; any send through it is a diagnostic.
+	SignalOnly bool
+
+	Why string
+}
+
+// DisplayName renders the contract's channel identity.
+func (c ChannelContract) DisplayName() string {
+	if c.Field != "" {
+		return c.Type + "." + c.Field
+	}
+	return c.Func + "." + c.Var
+}
+
+// ChannelContracts is the production channel-lifecycle table: every
+// long-lived channel in the concurrent runtime packages, with its close
+// ownership. The goroutinelife analyzer independently proves the
+// goroutines blocked on these channels can exit.
+var ChannelContracts = []ChannelContract{
+	{Pkg: "internal/gateway", Type: "instance", Field: "quit",
+		Closers: 1, SignalOnly: true,
+		Why: "the instance stop signal: closed exactly once via instance.stop's once.Do; a send would panic a second stopper"},
+	{Pkg: "internal/gateway", Type: "instance", Field: "reqCh",
+		Closers: 0,
+		Why:     "the batch queue is never closed: the loop exits via quit, and failAll drains stragglers — a close would race in-flight offer() sends"},
+	{Pkg: "internal/gateway", Type: "invocation", Field: "respCh",
+		Closers: 0,
+		Why:     "the buffered single-reply slot: never closed so a late instance send cannot panic; the invocation recycles with the channel inside"},
+	{Pkg: "internal/cluster", Type: "FitPool", Field: "jobs",
+		Closers: 1,
+		Why:     "the fan-out work queue: FitPool.Close is the one closer; workers exit when the range drains"},
+	{Pkg: "internal/gateway", Func: "Server.Close", Var: "done",
+		Closers: 1, SignalOnly: true,
+		Why: "the bounded-join signal: the waiter goroutine closes it once after instWG settles"},
+	{Pkg: "internal/loadgen", Func: "runOpen", Var: "jobs",
+		Closers: 1,
+		Why:     "the pacer-to-worker handoff: the pacer closes it when the trace ends; workers exit when the range drains"},
+	{Pkg: "internal/bench", Func: "RunStream", Var: "idx",
+		Closers: 1,
+		Why:     "the experiment feed: the feeder goroutine closes it after the last index; workers exit when the range drains"},
+	{Pkg: "internal/bench", Func: "RunStream", Var: "done",
+		Closers: 1, SignalOnly: true,
+		Why: "per-experiment completion signals: the finishing worker closes each slot exactly once; the emitter only receives"},
+	{Pkg: "internal/bench", Func: "Options.parallelFor", Var: "idx",
+		Closers: 1,
+		Why:     "the sweep-point feed: the caller closes it after the last index; workers exit when the range drains"},
 }
 
 // ForbiddenDecls is the production forbidden-declaration table.

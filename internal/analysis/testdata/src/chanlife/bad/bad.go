@@ -1,0 +1,40 @@
+// Package clbad breaks every channel contract: a second close site, a
+// send after close, a send on a signal-only channel, a contracted local
+// that is never closed, and a channel field missing from the table.
+package clbad
+
+type box struct {
+	quit  chan struct{} // want "channel box\.quit declares 1 close site\(s\), found 2"
+	work  chan int
+	rogue chan int // want "channel field box\.rogue has no ChannelContract entry"
+}
+
+// stopTwice may close quit twice on the flip path.
+func (b *box) stopTwice(flip bool) {
+	close(b.quit)
+	if flip {
+		close(b.quit) // want "close of box\.quit may follow an earlier close"
+	}
+}
+
+// drainAndClose sends after the close on a straight-line path.
+func (b *box) drainAndClose(vs []int) {
+	for _, v := range vs {
+		b.work <- v
+	}
+	close(b.work)
+	b.work <- 0 // want "send to box\.work may follow its close"
+}
+
+// kick sends on the signal-only quit channel.
+func (b *box) kick() {
+	b.quit <- struct{}{} // want "send on signal-only channel box\.quit"
+}
+
+// pump declares one closer for feed but never closes it.
+func pump(n int) {
+	feed := make(chan int, n) // want "channel pump\.feed declares 1 close site\(s\), found 0"
+	for i := 0; i < n; i++ {
+		feed <- i
+	}
+}

@@ -1,0 +1,36 @@
+// Package clgood keeps every channel contract: one close site per
+// closer, closes and sends ordered on every path, the signal channel
+// close-only, and every channel field in the table.
+package clgood
+
+type box struct {
+	quit chan struct{}
+	work chan int
+}
+
+// stop is quit's single close site; branches rejoin after, not before.
+func (b *box) stop(logIt bool) {
+	if logIt {
+		b.note()
+	}
+	close(b.quit)
+}
+
+func (b *box) note() {}
+
+// drainAndClose sends strictly before the close.
+func (b *box) drainAndClose(vs []int) {
+	for _, v := range vs {
+		b.work <- v
+	}
+	close(b.work)
+}
+
+// pump closes feed exactly once, after the last send.
+func pump(n int) {
+	feed := make(chan int, n)
+	for i := 0; i < n; i++ {
+		feed <- i
+	}
+	close(feed)
+}

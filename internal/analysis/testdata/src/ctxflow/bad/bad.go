@@ -1,0 +1,51 @@
+// Package cfbad breaks context hygiene: root contexts minted where a
+// deadline should flow, a ctx parameter dropped on the floor, a cancel
+// discarded, and a cancel skipped on one path. Loaded under a
+// request-path package for the corpus tests.
+package cfbad
+
+import (
+	"context"
+	"time"
+)
+
+// block is a module-internal ctx-taking callee.
+func block(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// mintsRoot detaches the work from the caller's deadline.
+func mintsRoot() {
+	block(context.Background()) // want "request-path package detaches work from the"
+}
+
+// doubleRoot mints a fresh root despite already holding a ctx.
+func doubleRoot(ctx context.Context) {
+	_ = ctx
+	block(context.TODO()) // want "inside a function that already receives a ctx"
+}
+
+type holder struct{ c context.Context }
+
+// drops never touches its ctx but hands a stored context to a blocking
+// callee — the caller's deadline is gone.
+func (h *holder) drops(ctx context.Context) { // want "ctx parameter ctx is never used, but the body calls block"
+	block(h.c)
+}
+
+// discards throws the cancel away; the timer leaks until the parent
+// dies.
+func discards(ctx context.Context) {
+	c, _ := context.WithTimeout(ctx, time.Second) // want "cancel function discarded as _"
+	block(c)
+}
+
+// leaky calls cancel on the flip path only.
+func leaky(ctx context.Context, flip bool) {
+	c, cancel := context.WithCancel(ctx) // want "cancel function cancel is not called on every path"
+	if flip {
+		cancel()
+		return
+	}
+	block(c)
+}

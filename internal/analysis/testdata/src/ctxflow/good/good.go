@@ -1,0 +1,51 @@
+// Package cfgood keeps context hygiene: cancels deferred or called on
+// every path (or handed off), ctx parameters threaded through, and root
+// contexts only where no caller deadline exists. Loaded under a
+// non-request-path package for the corpus tests.
+package cfgood
+
+import (
+	"context"
+	"time"
+)
+
+// block is a module-internal ctx-taking callee.
+func block(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// entry mints a root legitimately: no ctx parameter, not a request
+// path.
+func entry() {
+	block(context.Background())
+}
+
+// deferred is the canonical shape: defer cancel() right after deriving.
+func deferred(ctx context.Context) {
+	c, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	block(c)
+}
+
+// bothPaths calls cancel on every branch.
+func bothPaths(ctx context.Context, flip bool) {
+	c, cancel := context.WithCancel(ctx)
+	if flip {
+		cancel()
+		return
+	}
+	block(c)
+	cancel()
+}
+
+// handsOff escapes the cancel to a keeper — accepted optimistically.
+func handsOff(ctx context.Context, keep func(context.CancelFunc)) {
+	c, cancel := context.WithCancel(ctx)
+	keep(cancel)
+	block(c)
+}
+
+// threads passes its ctx through to the blocking callee.
+func threads(ctx context.Context) {
+	block(ctx)
+}

@@ -1,0 +1,17 @@
+// Package cfscope holds only the root-context shape, for the
+// scope-dependence test: loaded under a request-path package it is
+// diagnosed, loaded under the simulator it is not (the rule is about
+// request deadlines, not contexts in general).
+package cfscope
+
+import "context"
+
+// block is a module-internal ctx-taking callee.
+func block(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// mintsRoot is the shape under test.
+func mintsRoot() {
+	block(context.Background())
+}

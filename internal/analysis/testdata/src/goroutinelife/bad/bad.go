@@ -1,0 +1,71 @@
+// Package glbad spawns goroutines with no provable termination: orphan
+// loops, ranges over channels nothing closes, and the classic
+// timeout-path leak (a send on an unbuffered channel whose receiver can
+// take another select arm and return).
+package glbad
+
+import "time"
+
+var counter int
+
+func bump() { counter++ }
+
+func compute() int { return 42 }
+
+// orphanLoop spins forever: no receive, no context, no bound.
+func orphanLoop() {
+	go func() { // want "no provable termination"
+		for {
+			bump()
+		}
+	}()
+}
+
+// orphanCond has a condition, but nothing in it consults a stop signal.
+func orphanCond() {
+	go func() { // want "no provable termination"
+		for counter < 100 {
+			bump()
+		}
+	}()
+}
+
+// rangeNoCloser ranges over a channel with no close site anywhere in
+// the module: the worker can never finish.
+func rangeNoCloser() chan int {
+	jobs := make(chan int)
+	go func() { // want "ranges over channel jobs .* nothing in the module closes it"
+		for range jobs {
+			bump()
+		}
+	}()
+	return jobs
+}
+
+// spin is an orphan loop behind a named helper; `go spin()` resolves
+// the declaration and finds it.
+func spin() {
+	for {
+		bump()
+	}
+}
+
+func spawnHelper() {
+	go spin() // want "no provable termination"
+}
+
+// timeoutLeak is the classic leak: the goroutine sends its result on an
+// unbuffered channel, but the receiver sits in a select that can take
+// the timeout arm and return — after which the send blocks forever.
+func timeoutLeak() int {
+	res := make(chan int)
+	go func() { // want "sends on unbuffered res .* make res buffered"
+		res <- compute()
+	}()
+	select {
+	case v := <-res:
+		return v
+	case <-time.After(time.Millisecond):
+		return -1
+	}
+}

@@ -1,0 +1,18 @@
+// Package glsupp carries one justified process-lifetime goroutine: the
+// suppression must silence the finding and surface it in the
+// suppressed report.
+package glsupp
+
+var counter int
+
+func bump() { counter++ }
+
+// pump is a deliberate process-lifetime goroutine.
+func pump() {
+	//lint:ignore goroutinelife corpus: metrics pump runs for the process lifetime by design
+	go func() {
+		for {
+			bump()
+		}
+	}()
+}

@@ -368,6 +368,7 @@ func (f *function) scaleOut() error {
 		f.srv.obs.InstanceStartup(f.name(), inst.id, bd, now)
 	}
 	f.srv.obs.AllocationChanged(alloc, now)
+	f.srv.instWG.Add(1)
 	go inst.loop()
 	return nil
 }
@@ -443,6 +444,7 @@ func (inst *instance) stop() {
 // reused, so a steady-state batch round allocates nothing.
 func (inst *instance) loop() {
 	f := inst.f
+	defer f.srv.instWG.Done()
 	speed := f.srv.cfg.SpeedFactor
 	timeout := scale(f.batch.Timeout(inst.cand.TExec), speed)
 	idle := time.NewTimer(f.srv.cfg.IdleTimeout)

@@ -114,6 +114,11 @@ type Server struct {
 	// single-threaded (the simulator owns it exclusively), but gateway
 	// instances allocate and release concurrently.
 	clMu sync.Mutex
+
+	// instWG counts live instance.loop goroutines: scaleOut Adds before
+	// spawning, the loop Dones on exit, and Close waits (bounded) so
+	// teardown provably joins every loop instead of abandoning them.
+	instWG sync.WaitGroup
 }
 
 // AllocatedResources returns a concurrency-safe snapshot of the cluster's
@@ -199,13 +204,32 @@ func (s *Server) PlaneRate() float64 { return s.rates.PlaneRate(s.planeNow()) }
 // snapshotting the collector mid-run pass it to SnapshotAt).
 func (s *Server) PlaneNow() time.Duration { return s.planeNow() }
 
-// Close stops all function instances and releases their resources.
+// closeJoinTimeout bounds how long Close waits for instance loops to
+// drain in-flight batches before giving up the join.
+const closeJoinTimeout = 5 * time.Second
+
+// Close stops all function instances, releases their resources, and
+// waits (bounded) for every instance.loop goroutine to exit. The join
+// is what makes teardown provable: without it a loop mid-batch outlives
+// Close invisibly, which is exactly the leak the goroutinelife analyzer
+// and the NumGoroutine harness guard against.
 func (s *Server) Close() {
 	s.tbl.mu.Lock()
 	fns := s.tbl.clearLocked()
 	s.tbl.mu.Unlock()
 	for _, f := range fns {
 		f.shutdown()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.instWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(closeJoinTimeout):
+		// A loop stuck past the deadline is a bug elsewhere; Close
+		// still returns so shutdown cannot deadlock the caller.
 	}
 }
 

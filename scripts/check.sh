@@ -11,9 +11,14 @@
 # packages off the wall clock, placement on the free-capacity index,
 # and observer/telemetry callbacks outside mutex critical sections, and
 # runs the flow-sensitive lockorder / atomicsnapshot / poolcontract /
-# hotalloc / errflow analyzers over the whole module. The lint pass has
-# a 60s budget so the whole-program analyzers stay cheap enough to run
-# on every commit.
+# hotalloc / errflow analyzers plus the concurrency-lifecycle trio
+# goroutinelife / chanlife / ctxflow over the whole module. The lint
+# pass fans the 13 analyzers out in parallel (deterministic output) and
+# has a 60s budget so the whole-program passes stay cheap enough to run
+# on every commit. The race pass doubles as the goroutine-leak gate:
+# the NumGoroutine settle-and-compare harnesses around Server.Close,
+# FitPool.Close and loadgen.Run ride the gateway/cluster/loadgen race
+# runs below.
 set -eu
 cd "$(dirname "$0")/.."
 
